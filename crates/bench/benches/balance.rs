@@ -1,0 +1,55 @@
+//! Criterion: adaptation-engine costs — one trigger check + plan over a
+//! loaded network, and a full adaptation round (the per-round cost behind
+//! Figures 7–10).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use geogrid_bench::common::build_network;
+use geogrid_bench::ExperimentConfig;
+use geogrid_core::balance::{plan_for_region, AdaptationEngine, BalanceConfig};
+use geogrid_core::builder::Mode;
+use geogrid_core::load::LoadMap;
+use std::hint::black_box;
+
+fn bench_balance(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let mut rng = config.rng(77, 0);
+    let (_, grid) = config.field_and_grid(&mut rng);
+    let topo = build_network(&config, Mode::DualPeer, 2_000, 0);
+    let loads = LoadMap::from_grid(&topo, &grid);
+    let balance = BalanceConfig::default();
+
+    // Hottest region's planning cost.
+    let hottest = topo
+        .region_ids()
+        .max_by(|&a, &b| {
+            loads
+                .index_of(&topo, a)
+                .partial_cmp(&loads.index_of(&topo, b))
+                .unwrap()
+        })
+        .unwrap();
+    c.bench_function("plan_for_hottest_region_2000", |b| {
+        b.iter(|| black_box(plan_for_region(&topo, &loads, &balance, hottest)))
+    });
+
+    c.bench_function("loadmap_from_grid_2000", |b| {
+        b.iter(|| black_box(LoadMap::from_grid(&topo, &grid)))
+    });
+
+    let mut group = c.benchmark_group("adaptation_round");
+    group.sample_size(10);
+    group.bench_function("round_2000", |b| {
+        b.iter_batched(
+            || (topo.clone(), LoadMap::from_grid(&topo, &grid)),
+            |(mut topo, mut loads)| {
+                let engine = AdaptationEngine::default();
+                black_box(engine.run_round(&mut topo, &grid, &mut loads))
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_balance);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion: network construction throughput — basic vs dual-peer joins
+//! (the bootstrap cost behind Figures 2/3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geogrid_core::builder::{Mode, NetworkBuilder};
+use geogrid_geometry::Space;
+use std::hint::black_box;
+
+fn bench_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_network");
+    group.sample_size(10);
+    for &n in &[500usize, 2_000] {
+        for (mode, label) in [(Mode::Basic, "basic"), (Mode::DualPeer, "dual")] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    black_box(
+                        NetworkBuilder::new(Space::paper_evaluation(), 42)
+                            .mode(mode)
+                            .build(n),
+                    )
+                })
+            });
+        }
+    }
+    group.finish();
+
+    // Marginal join cost at an established size.
+    let base = NetworkBuilder::new(Space::paper_evaluation(), 7)
+        .mode(Mode::DualPeer)
+        .build(2_000);
+    c.bench_function("join_one_at_2000", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |mut net| {
+                net.join_one();
+                black_box(net)
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

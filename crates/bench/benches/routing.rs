@@ -1,0 +1,49 @@
+//! Criterion: greedy next-hop decision and full routes across network
+//! sizes — the per-message cost behind the O(2√N) hop figure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geogrid_bench::common::build_network;
+use geogrid_bench::ExperimentConfig;
+use geogrid_core::builder::Mode;
+use geogrid_core::routing;
+use geogrid_geometry::Point;
+use std::hint::black_box;
+
+fn bench_routing(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let mut group = c.benchmark_group("route");
+    for &n in &[256usize, 1_024, 4_096] {
+        let topo = build_network(&config, Mode::Basic, n, 0);
+        let from = topo.first_region().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                // Spread targets deterministically over the plane.
+                i = i.wrapping_add(1);
+                let x =
+                    (i.wrapping_mul(0x9E3779B97F4A7C15) >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+                let y =
+                    (i.wrapping_mul(0xD1B54A32D192ED03) >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+                black_box(routing::route(&topo, from, Point::new(x, y)).unwrap())
+            })
+        });
+    }
+    group.finish();
+
+    let topo = build_network(&config, Mode::Basic, 4_096, 0);
+    let from = topo.first_region().unwrap();
+    c.bench_function("next_hop_4096", |b| {
+        let visited = std::collections::HashSet::new();
+        b.iter(|| {
+            black_box(routing::next_hop(
+                &topo,
+                from,
+                Point::new(63.0, 63.0),
+                &visited,
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

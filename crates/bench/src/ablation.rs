@@ -1,0 +1,245 @@
+//! Ablations for the design choices DESIGN.md calls out.
+//!
+//! All on a 2,000-node network under the standard hot-spot field:
+//!
+//! * **variant ladder** — basic / +dual / +dual+local-only adaptation /
+//!   +dual+full adaptation: how much each layer contributes;
+//! * **TTL of the remote search** — 2/3/5;
+//! * **trigger ratio** — 1.1 / √2 / 2.0: adaptation eagerness vs churn;
+//! * **routing-load weight α** — 0 (paper figures) vs 0.5 with a sampled
+//!   query mix: does balancing change when transit load counts;
+//! * **capacity heterogeneity** — Gnutella profile vs homogeneous.
+
+use geogrid_core::balance::{AdaptationEngine, BalanceConfig};
+use geogrid_core::builder::{Mode, NetworkBuilder};
+use geogrid_core::load::LoadMap;
+use geogrid_metrics::{gini, table::Table, RunningStats};
+use geogrid_workload::CapacityProfile;
+
+use crate::common::{build_network, ExperimentConfig};
+
+/// Network size for all ablations.
+pub const NODES: usize = 2_000;
+
+/// Rounds of adaptation per run.
+pub const ROUNDS: usize = 25;
+
+/// One ablation row: setting name → averaged stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Human-readable setting.
+    pub setting: String,
+    /// Trial-averaged std-dev of the node workload index.
+    pub std_dev: f64,
+    /// Trial-averaged mean.
+    pub mean: f64,
+    /// Trial-averaged Gini coefficient.
+    pub gini: f64,
+    /// Trial-averaged adaptation count until convergence.
+    pub adaptations: f64,
+}
+
+struct Acc {
+    std: RunningStats,
+    mean: RunningStats,
+    gini: RunningStats,
+    ops: RunningStats,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Self {
+            std: RunningStats::new(),
+            mean: RunningStats::new(),
+            gini: RunningStats::new(),
+            ops: RunningStats::new(),
+        }
+    }
+
+    fn finish(self, setting: impl Into<String>) -> AblationRow {
+        AblationRow {
+            setting: setting.into(),
+            std_dev: self.std.mean(),
+            mean: self.mean.mean(),
+            gini: self.gini.mean(),
+            adaptations: self.ops.mean(),
+        }
+    }
+}
+
+fn record(acc: &mut Acc, topo: &geogrid_core::Topology, loads: &LoadMap, ops: usize) {
+    let s = loads.summary(topo);
+    acc.std.push(s.std_dev());
+    acc.mean.push(s.mean());
+    acc.gini.push(gini(loads.node_indexes(topo).into_values()));
+    acc.ops.push(ops as f64);
+}
+
+/// Runs the whole ablation grid.
+pub fn run(config: &ExperimentConfig) -> Vec<AblationRow> {
+    run_sized(config, NODES)
+}
+
+/// Runs with a custom network size (tests use small ones).
+pub fn run_sized(config: &ExperimentConfig, nodes: usize) -> Vec<AblationRow> {
+    let mut accs: Vec<(String, Acc)> = Vec::new();
+    let mut push = |name: &str| {
+        accs.push((name.to_string(), Acc::new()));
+        accs.len() - 1
+    };
+    let i_basic = push("basic");
+    let i_dual = push("dual");
+    let i_local = push("dual+adapt(local-only)");
+    let i_full = push("dual+adapt(full)");
+    let i_ttl2 = push("dual+adapt(ttl=2)");
+    let i_ttl5 = push("dual+adapt(ttl=5)");
+    let i_eager = push("dual+adapt(trigger=1.1)");
+    let i_lazy = push("dual+adapt(trigger=2.0)");
+    let i_alpha = push("dual+adapt(alpha=0.5,routing)");
+    let i_homog = push("homogeneous+adapt");
+
+    for trial in 0..config.trials {
+        eprintln!("ablation: trial {}...", trial + 1);
+        let mut rng = config.rng(1000, trial as u64);
+        let (field, grid) = config.field_and_grid(&mut rng);
+
+        // Variant ladder.
+        let topo = build_network(config, Mode::Basic, nodes, trial as u64);
+        record(
+            &mut accs[i_basic].1,
+            &topo,
+            &LoadMap::from_grid(&topo, &grid),
+            0,
+        );
+        let dual = build_network(config, Mode::DualPeer, nodes, trial as u64);
+        record(
+            &mut accs[i_dual].1,
+            &dual,
+            &LoadMap::from_grid(&dual, &grid),
+            0,
+        );
+
+        let mut run_variant = |idx: usize, balance: BalanceConfig| {
+            let mut topo = dual.clone();
+            let mut loads = LoadMap::from_grid(&topo, &grid);
+            let engine = AdaptationEngine::new(balance);
+            let stats = engine.run(&mut topo, &grid, &mut loads, ROUNDS);
+            let ops: usize = stats.iter().map(|r| r.adaptations).sum();
+            record(&mut accs[idx].1, &topo, &loads, ops);
+        };
+        run_variant(
+            i_local,
+            BalanceConfig {
+                local_only: true,
+                ..BalanceConfig::default()
+            },
+        );
+        run_variant(i_full, BalanceConfig::default());
+        run_variant(
+            i_ttl2,
+            BalanceConfig {
+                search_ttl: 2,
+                ..BalanceConfig::default()
+            },
+        );
+        run_variant(
+            i_ttl5,
+            BalanceConfig {
+                search_ttl: 5,
+                ..BalanceConfig::default()
+            },
+        );
+        run_variant(
+            i_eager,
+            BalanceConfig {
+                trigger_ratio: 1.1,
+                ..BalanceConfig::default()
+            },
+        );
+        run_variant(
+            i_lazy,
+            BalanceConfig {
+                trigger_ratio: 2.0,
+                ..BalanceConfig::default()
+            },
+        );
+
+        // Routing-load-aware balancing (α = 0.5, 2,000 sampled queries).
+        {
+            let mut topo = dual.clone();
+            let mut loads = LoadMap::with_routing(&topo, &grid, &field, &mut rng, 2_000, 0.8, 0.5);
+            let engine = AdaptationEngine::default();
+            let stats = engine.run(&mut topo, &grid, &mut loads, ROUNDS);
+            let ops: usize = stats.iter().map(|r| r.adaptations).sum();
+            record(&mut accs[i_alpha].1, &topo, &loads, ops);
+        }
+
+        // Homogeneous capacities: adaptation has no capacity slack to
+        // exploit — only merges/splits help.
+        {
+            let mut net = NetworkBuilder::new(config.space(), config.seed ^ trial as u64)
+                .mode(Mode::DualPeer)
+                .capacities(CapacityProfile::homogeneous(100.0))
+                .build(nodes);
+            let mut loads = LoadMap::from_grid(net.topology(), &grid);
+            let engine = AdaptationEngine::default();
+            let stats = engine.run(net.topology_mut(), &grid, &mut loads, ROUNDS);
+            let ops: usize = stats.iter().map(|r| r.adaptations).sum();
+            record(&mut accs[i_homog].1, net.topology(), &loads, ops);
+        }
+    }
+
+    let rows: Vec<AblationRow> = accs
+        .into_iter()
+        .map(|(name, acc)| acc.finish(name))
+        .collect();
+    let mut table = Table::new(["setting", "index_std", "index_mean", "gini", "adaptations"]);
+    for r in &rows {
+        table.row([
+            r.setting.clone(),
+            format!("{:.6e}", r.std_dev),
+            format!("{:.6e}", r.mean),
+            format!("{:.4}", r.gini),
+            format!("{:.1}", r.adaptations),
+        ]);
+    }
+    config.emit("ablation", &table);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_improves_monotonically_enough() {
+        let config = ExperimentConfig {
+            trials: 2,
+            out_dir: std::env::temp_dir().join("geogrid_ablation_test"),
+            ..ExperimentConfig::default()
+        };
+        let rows = run_sized(&config, 300);
+        let get = |name: &str| {
+            rows.iter()
+                .find(|r| r.setting == name)
+                .unwrap_or_else(|| panic!("row {name}"))
+                .std_dev
+        };
+        let basic = get("basic");
+        let full = get("dual+adapt(full)");
+        assert!(full < basic, "full {full} >= basic {basic}");
+        // Every adaptation variant actually did work.
+        for name in [
+            "dual+adapt(local-only)",
+            "dual+adapt(ttl=2)",
+            "dual+adapt(ttl=5)",
+            "dual+adapt(trigger=1.1)",
+            "dual+adapt(trigger=2.0)",
+        ] {
+            let row = rows.iter().find(|r| r.setting == name).unwrap();
+            assert!(row.adaptations > 0.0, "{name} never adapted");
+            assert!(row.std_dev <= basic, "{name} worse than basic");
+        }
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+}

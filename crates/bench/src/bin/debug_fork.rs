@@ -1,0 +1,88 @@
+//! Diagnostic: find the first ownership fork in a simulated overlay.
+use geogrid_core::engine::sim::SimHarness;
+use geogrid_core::engine::{ClientEvent, EngineConfig, EngineMode, Input};
+use geogrid_core::service::LocationQuery;
+use geogrid_core::topology::Role;
+use geogrid_core::NodeId;
+use geogrid_geometry::{Point, Region, Space};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn scan(h: &SimHarness, tag: &str) -> bool {
+    let views = h.owner_views();
+    let prim: Vec<_> = views
+        .iter()
+        .filter(|(_, v)| v.role == Role::Primary)
+        .collect();
+    for (a, (ida, va)) in prim.iter().enumerate() {
+        for (idb, vb) in prim.iter().skip(a + 1) {
+            if va.region.intersects(&vb.region) {
+                println!(
+                    "FORK {tag}: {ida} {} (peer {:?}) vs {idb} {} (peer {:?})",
+                    va.region,
+                    va.peer.map(|p| p.id()),
+                    vb.region,
+                    vb.peer.map(|p| p.id())
+                );
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4002);
+    let nodes: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let space = Space::paper_evaluation();
+    let mut h = SimHarness::new(
+        space,
+        EngineConfig {
+            mode: EngineMode::DualPeer,
+            ..EngineConfig::default()
+        },
+        seed,
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let coord =
+        |rng: &mut SmallRng| Point::new(rng.random_range(0.2..63.8), rng.random_range(0.2..63.8));
+    let caps = [1.0, 10.0, 10.0, 100.0, 10.0, 1.0, 10.0, 100.0, 1000.0, 10.0];
+    h.bootstrap(coord(&mut rng), 10.0);
+    for i in 1..nodes {
+        h.join(coord(&mut rng), caps[i % caps.len()]);
+        h.run_for(250);
+    }
+    h.settle();
+    if scan(&h, "post-build") {
+        return;
+    }
+    let asker = NodeId::new(0);
+    for q in 0..100 {
+        let p = coord(&mut rng);
+        h.inject(
+            asker,
+            Input::UserQuery {
+                query: LocationQuery::new(Region::new(p.x - 0.5, p.y - 0.5, 1.0, 1.0), asker),
+            },
+        );
+        h.run_for(60);
+        if scan(&h, &format!("after query {q}")) {
+            // dump adaptation events
+            for i in 0..nodes as u64 {
+                for e in h.events_of(NodeId::new(i)) {
+                    if let ClientEvent::AdaptationExecuted { mechanism } = e {
+                        println!("  n{i} executed ({mechanism})");
+                    }
+                }
+            }
+            return;
+        }
+    }
+    println!("no fork");
+}

@@ -1,0 +1,23 @@
+//! Diagnostic: validates built networks across sizes/modes/trials.
+//! Kept as a maintenance tool; `repro` is the user-facing binary.
+use geogrid_core::builder::{Mode, NetworkBuilder};
+use geogrid_geometry::Space;
+
+fn main() {
+    let mut bad = 0;
+    for &n in &[500usize, 2000, 4000] {
+        for trial in 0..5u64 {
+            for mode in [Mode::Basic, Mode::DualPeer] {
+                let seed = 20070625u64 ^ (trial << 17) ^ n as u64;
+                let net = NetworkBuilder::new(Space::paper_evaluation(), seed)
+                    .mode(mode)
+                    .build(n);
+                if let Err(e) = net.topology().validate() {
+                    println!("n={n} trial={trial} {mode:?}: INVALID: {e}");
+                    bad += 1;
+                }
+            }
+        }
+    }
+    println!("{} invalid networks", bad);
+}

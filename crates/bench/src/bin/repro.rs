@@ -1,0 +1,112 @@
+//! Regenerates every table and figure of the GeoGrid paper.
+//!
+//! ```text
+//! repro <experiment> [--trials N] [--hotspots N] [--seed N] [--out DIR]
+//!
+//! experiments:
+//!   fig2 fig3      region size & load distributions (run together)
+//!   fig4 | mech    the eight adaptation vignettes
+//!   fig5 fig6      workload-index std-dev & mean vs N (run together)
+//!   fig7 fig8      convergence by adaptation round (run together)
+//!   fig9 fig10     convergence by adaptation count (run together)
+//!   routing        O(2*sqrt(N)) hop-count sweep
+//!   ablation       design-choice ablations
+//!   failover       dual-peer fault-resilience measurement
+//!   all            everything above
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geogrid_bench::ExperimentConfig;
+use geogrid_bench::{ablation, common, failover, fig23, fig56, fig78, fig910, mech, routing_exp};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig2|fig3|fig4|mech|fig5|fig6|fig7|fig8|fig9|fig10|routing|ablation|failover|all> \
+         [--trials N] [--hotspots N] [--seed N] [--out DIR]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(experiment) = args.next() else {
+        return usage();
+    };
+    let mut config = ExperimentConfig::default();
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            eprintln!("missing value for {flag}");
+            return usage();
+        };
+        match flag.as_str() {
+            "--trials" => match value.parse() {
+                Ok(v) => config.trials = v,
+                Err(_) => return usage(),
+            },
+            "--hotspots" => match value.parse() {
+                Ok(v) => config.hotspots = v,
+                Err(_) => return usage(),
+            },
+            "--seed" => match value.parse() {
+                Ok(v) => config.seed = v,
+                Err(_) => return usage(),
+            },
+            "--out" => config.out_dir = PathBuf::from(value),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                return usage();
+            }
+        }
+    }
+    common::ensure_dir(&config.out_dir);
+    println!(
+        "GeoGrid reproduction: experiment={experiment} trials={} hotspots={} seed={} out={}",
+        config.trials,
+        config.hotspots,
+        config.seed,
+        config.out_dir.display()
+    );
+
+    let started = std::time::Instant::now();
+    match experiment.as_str() {
+        "fig2" | "fig3" | "fig2_3" => {
+            fig23::run(&config);
+        }
+        "fig4" | "mech" => {
+            mech::run(&config);
+        }
+        "fig5" | "fig6" | "fig5_6" => {
+            fig56::run(&config);
+        }
+        "fig7" | "fig8" | "fig7_8" => {
+            fig78::run(&config);
+        }
+        "fig9" | "fig10" | "fig9_10" => {
+            fig910::run(&config);
+        }
+        "routing" => {
+            routing_exp::run(&config);
+        }
+        "ablation" => {
+            ablation::run(&config);
+        }
+        "failover" => {
+            failover::run(&config);
+        }
+        "all" => {
+            fig23::run(&config);
+            mech::run(&config);
+            routing_exp::run(&config);
+            fig56::run(&config);
+            fig78::run(&config);
+            fig910::run(&config);
+            ablation::run(&config);
+            failover::run(&config);
+        }
+        _ => return usage(),
+    }
+    println!("done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

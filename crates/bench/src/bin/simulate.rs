@@ -1,0 +1,192 @@
+//! `simulate` — drive a full message-level GeoGrid deployment on the
+//! deterministic simulator and report protocol traffic statistics.
+//!
+//! Where `repro` evaluates the algorithms on the topology model (fast,
+//! 16k nodes), `simulate` runs the actual wire protocol: every join,
+//! split, heartbeat, query, and adaptation is a simulated message. Useful
+//! for protocol-cost questions ("how many messages does a join cost at
+//! N=200?") and for profiling the engine.
+//!
+//! ```text
+//! simulate [--nodes N] [--queries Q] [--seed S] [--basic] [--crash-pct P]
+//! ```
+
+use std::process::ExitCode;
+
+use geogrid_core::engine::sim::SimHarness;
+use geogrid_core::engine::{ClientEvent, EngineConfig, EngineMode, Input};
+use geogrid_core::service::LocationQuery;
+use geogrid_core::topology::Role;
+use geogrid_core::NodeId;
+use geogrid_geometry::{Point, Region, Space};
+use geogrid_metrics::Summary;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    nodes: usize,
+    queries: usize,
+    seed: u64,
+    basic: bool,
+    crash_pct: f64,
+    no_balance: bool,
+}
+
+fn parse() -> Option<Args> {
+    let mut args = Args {
+        nodes: 100,
+        queries: 500,
+        seed: 2007,
+        basic: false,
+        crash_pct: 0.0,
+        no_balance: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--basic" => args.basic = true,
+            "--no-balance" => args.no_balance = true,
+            _ => {
+                let v = it.next()?;
+                match flag.as_str() {
+                    "--nodes" => args.nodes = v.parse().ok()?,
+                    "--queries" => args.queries = v.parse().ok()?,
+                    "--seed" => args.seed = v.parse().ok()?,
+                    "--crash-pct" => args.crash_pct = v.parse().ok()?,
+                    _ => return None,
+                }
+            }
+        }
+    }
+    (args.nodes >= 1 && (0.0..1.0).contains(&args.crash_pct)).then_some(args)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse() else {
+        eprintln!("usage: simulate [--nodes N] [--queries Q] [--seed S] [--basic] [--crash-pct P]");
+        return ExitCode::FAILURE;
+    };
+    let mode = if args.basic {
+        EngineMode::Basic
+    } else {
+        EngineMode::DualPeer
+    };
+    println!(
+        "simulating {} nodes ({mode:?}), {} queries, seed {}",
+        args.nodes, args.queries, args.seed
+    );
+    let space = Space::paper_evaluation();
+    let mut h = SimHarness::new(
+        space,
+        EngineConfig {
+            mode,
+            balance_enabled: !args.no_balance,
+            ..EngineConfig::default()
+        },
+        args.seed,
+    );
+    let mut rng = SmallRng::seed_from_u64(args.seed);
+    let coord =
+        |rng: &mut SmallRng| Point::new(rng.random_range(0.2..63.8), rng.random_range(0.2..63.8));
+    let caps = [1.0, 10.0, 10.0, 100.0, 10.0, 1.0, 10.0, 100.0, 1000.0, 10.0];
+
+    let t0 = std::time::Instant::now();
+    h.bootstrap(coord(&mut rng), 10.0);
+    for i in 1..args.nodes {
+        h.join(coord(&mut rng), caps[i % caps.len()]);
+        h.run_for(250);
+    }
+    h.settle();
+    let join_stats = h.stats();
+    println!(
+        "overlay formed in {:.2}s wall: {} owners, {} messages ({:.1} per join)",
+        t0.elapsed().as_secs_f64(),
+        h.owner_count(),
+        join_stats.delivered,
+        join_stats.delivered as f64 / args.nodes as f64
+    );
+
+    // Optional crash storm.
+    if args.crash_pct > 0.0 {
+        let n_crash = (args.nodes as f64 * args.crash_pct).round() as usize;
+        for i in 0..n_crash {
+            h.crash(NodeId::new(1 + i as u64));
+        }
+        h.run_for(4_000);
+        println!("crashed {n_crash} nodes; {} owners remain", h.owner_count());
+    }
+
+    // Query workload from random survivors.
+    let before = h.stats().delivered;
+    let asker = NodeId::new(0);
+    for _ in 0..args.queries {
+        let p = coord(&mut rng);
+        h.inject(
+            asker,
+            Input::UserQuery {
+                query: LocationQuery::new(Region::new(p.x - 0.5, p.y - 0.5, 1.0, 1.0), asker),
+            },
+        );
+        h.run_for(60);
+    }
+    h.run_for(2_000);
+    // Count distinct answered queries via the correlation ids.
+    let mut ids = std::collections::HashSet::new();
+    for e in h.events_of(asker) {
+        if let ClientEvent::QueryResults { query_id, .. } = e {
+            ids.insert(*query_id);
+        }
+    }
+    let answered = ids.len();
+    let query_traffic = h.stats().delivered - before;
+    println!(
+        "queries: {}/{} answered, {:.1} messages each (incl. heartbeats)",
+        answered,
+        args.queries,
+        query_traffic as f64 / args.queries as f64
+    );
+
+    // Ownership statistics.
+    let views = h.owner_views();
+    let areas = Summary::from_values(
+        views
+            .iter()
+            .filter(|(_, v)| v.role == Role::Primary)
+            .map(|(_, v)| v.region.area()),
+    );
+    let neighbors = Summary::from_values(views.iter().map(|(_, v)| v.neighbors.len() as f64));
+    let covered: f64 = views
+        .iter()
+        .filter(|(_, v)| v.role == Role::Primary)
+        .map(|(_, v)| v.region.area())
+        .sum();
+    println!("space coverage: {:.1}%", covered / (64.0 * 64.0) * 100.0);
+    // Report any overlapping primary pair (an ownership fork).
+    let primaries: Vec<_> = views
+        .iter()
+        .filter(|(_, v)| v.role == Role::Primary)
+        .collect();
+    for (i, (ida, va)) in primaries.iter().enumerate() {
+        for (idb, vb) in primaries.iter().skip(i + 1) {
+            if va.region.intersects(&vb.region) {
+                println!(
+                    "OVERLAP: {ida} {} (peer {:?}) vs {idb} {} (peer {:?})",
+                    va.region,
+                    va.peer.map(|p| p.id()),
+                    vb.region,
+                    vb.peer.map(|p| p.id())
+                );
+            }
+        }
+    }
+    println!(
+        "primary regions: {} (area mean {:.2} / p99 {:.2}); neighbor lists mean {:.1} max {:.0}",
+        areas.len(),
+        areas.mean(),
+        areas.percentile(99.0),
+        neighbors.mean(),
+        neighbors.max()
+    );
+    println!("final simulator stats: {}", h.stats());
+    ExitCode::SUCCESS
+}

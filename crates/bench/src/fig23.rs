@@ -1,0 +1,292 @@
+//! Figures 2 and 3: region size and load distribution of a 500-node
+//! GeoGrid under random bootstrapping (Figure 2) and under the dual-peer
+//! technique (Figure 3).
+//!
+//! The paper presents these as shaded maps; the harness reproduces the
+//! underlying distributions: per-region rows (CSV), region-size histogram
+//! statistics, and an ASCII load heat map. The two observations to check
+//! against the paper: the dual-peer network has **fewer regions** whose
+//! sizes **track owner capacity** (strong owners hold big regions), and
+//! **fewer heavily loaded regions**.
+
+use geogrid_core::builder::Mode;
+use geogrid_core::load::LoadMap;
+use geogrid_core::Topology;
+use geogrid_metrics::{gini, table::Table, Summary};
+use geogrid_workload::WorkloadGrid;
+
+use crate::common::{build_network, ExperimentConfig};
+
+/// Number of nodes in the visualized network (paper: 500).
+pub const NODES: usize = 500;
+
+/// Per-variant distribution statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributionStats {
+    /// `basic` or `dual`.
+    pub variant: &'static str,
+    /// Live regions in the network.
+    pub regions: usize,
+    /// Summary of region areas.
+    pub area: Summary,
+    /// Summary of per-region workload indexes.
+    pub index: Summary,
+    /// Gini coefficient of the node workload indexes.
+    pub index_gini: f64,
+    /// Mean area of regions owned by capacity ≥ 1000 primaries.
+    pub strong_area: f64,
+    /// Mean area of regions owned by capacity ≤ 10 primaries.
+    pub weak_area: f64,
+}
+
+fn stats_for(variant: &'static str, topo: &Topology, grid: &WorkloadGrid) -> DistributionStats {
+    let loads = LoadMap::from_grid(topo, grid);
+    let area = Summary::from_values(topo.regions().map(|(_, e)| e.region().area()));
+    let index = loads.summary(topo);
+    let index_gini = gini(loads.node_indexes(topo).into_values());
+    let mut strong = Vec::new();
+    let mut weak = Vec::new();
+    for (_, e) in topo.regions() {
+        let cap = topo.node(e.primary()).map(|n| n.capacity()).unwrap_or(0.0);
+        if cap >= 1_000.0 {
+            strong.push(e.region().area());
+        } else if cap <= 10.0 {
+            weak.push(e.region().area());
+        }
+    }
+    let mean = |v: &[f64]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<f64>() / v.len() as f64
+        }
+    };
+    DistributionStats {
+        variant,
+        regions: topo.region_count(),
+        area,
+        index,
+        index_gini,
+        strong_area: mean(&strong),
+        weak_area: mean(&weak),
+    }
+}
+
+/// An ASCII heat map of the workload index over the plane (darker =
+/// hotter), the textual stand-in for the paper's shaded figures.
+pub fn heatmap(topo: &Topology, grid: &WorkloadGrid, cols: usize, rows: usize) -> String {
+    let loads = LoadMap::from_grid(topo, grid);
+    let space = topo.space();
+    let (w, h) = space.extent();
+    let shades = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    // Find the max index for normalization.
+    let max = topo
+        .region_ids()
+        .map(|r| loads.index_of(topo, r))
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    for row in (0..rows).rev() {
+        for col in 0..cols {
+            let p = geogrid_geometry::Point::new(
+                (col as f64 + 0.5) / cols as f64 * w,
+                (row as f64 + 0.5) / rows as f64 * h,
+            );
+            let rid = topo.locate_scan(p).expect("point in space");
+            let v = loads.index_of(topo, rid) / max;
+            let shade = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
+            out.push(shades[shade]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the partition as an SVG map: one rectangle per region, filled
+/// by normalized workload index (white = idle, dark red = hottest),
+/// stroked boundaries, capacity-annotated. The vector counterpart of the
+/// paper's shaded maps.
+pub fn svg_map(topo: &Topology, grid: &WorkloadGrid, px: f64) -> String {
+    let loads = LoadMap::from_grid(topo, grid);
+    let (w, h) = topo.space().extent();
+    let scale = px / w.max(h);
+    let max = topo
+        .region_ids()
+        .map(|r| loads.index_of(topo, r))
+        .fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" \
+         viewBox=\"0 0 {:.0} {:.0}\">\n",
+        w * scale,
+        h * scale,
+        w * scale,
+        h * scale
+    ));
+    out.push_str("<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n");
+    for (rid, e) in topo.regions() {
+        let r = e.region();
+        let v = (loads.index_of(topo, rid) / max).clamp(0.0, 1.0);
+        // White -> dark red ramp.
+        let red = 255;
+        let gb = (255.0 * (1.0 - v * 0.9)) as u8;
+        // SVG y grows downward; flip latitude.
+        let y = (h - r.y() - r.height()) * scale;
+        out.push_str(&format!(
+            "<rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" \
+             fill=\"rgb({red},{gb},{gb})\" stroke=\"#333\" stroke-width=\"0.5\">\
+             <title>{} index {:.3e} cap {}</title></rect>\n",
+            r.x() * scale,
+            y,
+            r.width() * scale,
+            r.height() * scale,
+            rid,
+            loads.index_of(topo, rid),
+            topo.node(e.primary()).map(|n| n.capacity()).unwrap_or(0.0),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Runs the experiment and emits `fig2_regions.csv`, `fig3_regions.csv`,
+/// `fig2_map.svg`, `fig3_map.svg`, and `fig2_3_summary.csv`. Returns the
+/// two variants' stats.
+pub fn run(config: &ExperimentConfig) -> (DistributionStats, DistributionStats) {
+    let mut rng = config.rng(23, 0);
+    let (_, grid) = config.field_and_grid(&mut rng);
+
+    let mut out = Vec::new();
+    for (mode, variant, csv) in [
+        (Mode::Basic, "basic", "fig2_regions"),
+        (Mode::DualPeer, "dual", "fig3_regions"),
+    ] {
+        let topo = build_network(config, mode, NODES, 0);
+        let loads = LoadMap::from_grid(&topo, &grid);
+        let mut per_region = Table::new([
+            "x",
+            "y",
+            "width",
+            "height",
+            "area",
+            "load",
+            "index",
+            "primary_capacity",
+            "full",
+        ]);
+        for (rid, e) in topo.regions() {
+            let r = e.region();
+            let cap = topo.node(e.primary()).map(|n| n.capacity()).unwrap_or(0.0);
+            per_region.row([
+                format!("{:.4}", r.x()),
+                format!("{:.4}", r.y()),
+                format!("{:.4}", r.width()),
+                format!("{:.4}", r.height()),
+                format!("{:.4}", r.area()),
+                format!("{:.6}", loads.combined(rid)),
+                format!("{:.6}", loads.index_of(&topo, rid)),
+                format!("{cap}"),
+                format!("{}", e.is_full()),
+            ]);
+        }
+        config.emit(csv, &per_region);
+        let svg_name = if variant == "basic" {
+            "fig2_map"
+        } else {
+            "fig3_map"
+        };
+        let svg_path = config.out_dir.join(format!("{svg_name}.svg"));
+        match std::fs::write(&svg_path, svg_map(&topo, &grid, 640.0)) {
+            Ok(()) => println!("-> wrote {}", svg_path.display()),
+            Err(e) => eprintln!("-> FAILED to write {}: {e}", svg_path.display()),
+        }
+        println!(
+            "{variant} load heat map ({} regions):\n{}",
+            topo.region_count(),
+            heatmap(&topo, &grid, 64, 24)
+        );
+        out.push(stats_for(variant, &topo, &grid));
+    }
+
+    let mut summary = Table::new([
+        "variant",
+        "regions",
+        "area_mean",
+        "area_std",
+        "index_mean",
+        "index_std",
+        "index_max",
+        "index_gini",
+        "strong_owner_mean_area",
+        "weak_owner_mean_area",
+    ]);
+    for s in &out {
+        summary.row([
+            s.variant.to_string(),
+            s.regions.to_string(),
+            format!("{:.4}", s.area.mean()),
+            format!("{:.4}", s.area.std_dev()),
+            format!("{:.6}", s.index.mean()),
+            format!("{:.6}", s.index.std_dev()),
+            format!("{:.6}", s.index.max()),
+            format!("{:.4}", s.index_gini),
+            format!("{:.4}", s.strong_area),
+            format!("{:.4}", s.weak_area),
+        ]);
+    }
+    config.emit("fig2_3_summary", &summary);
+    let mut it = out.into_iter();
+    (it.next().expect("basic"), it.next().expect("dual"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ExperimentConfig {
+        ExperimentConfig {
+            trials: 1,
+            out_dir: std::env::temp_dir().join("geogrid_fig23_test"),
+            ..ExperimentConfig::default()
+        }
+    }
+
+    #[test]
+    fn dual_has_fewer_regions_and_capacity_tracking() {
+        let config = quick_config();
+        let (basic, dual) = run(&config);
+        assert_eq!(basic.regions, NODES);
+        assert!(dual.regions < basic.regions);
+        // Figure 3 observation: strong owners hold bigger regions under
+        // dual peer.
+        if dual.strong_area > 0.0 && dual.weak_area > 0.0 {
+            assert!(dual.strong_area > dual.weak_area);
+        }
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+
+    #[test]
+    fn svg_map_is_well_formed() {
+        let config = quick_config();
+        let mut rng = config.rng(23, 0);
+        let (_, grid) = config.field_and_grid(&mut rng);
+        let topo = build_network(&config, Mode::Basic, 40, 0);
+        let svg = svg_map(&topo, &grid, 320.0);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per region plus the background.
+        let rects = svg.matches("<rect").count();
+        assert_eq!(rects, topo.region_count() + 1);
+    }
+
+    #[test]
+    fn heatmap_has_requested_shape() {
+        let config = quick_config();
+        let mut rng = config.rng(23, 0);
+        let (_, grid) = config.field_and_grid(&mut rng);
+        let topo = build_network(&config, Mode::Basic, 60, 0);
+        let map = heatmap(&topo, &grid, 32, 8);
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 8);
+        assert!(lines.iter().all(|l| l.chars().count() == 32));
+    }
+}

@@ -1,0 +1,158 @@
+//! §2.2 routing-cost claim: "routing between a pair of randomly chosen
+//! regions has the overhead of O(2√N)" hops.
+//!
+//! This experiment measures greedy-routing hop counts over growing
+//! networks and reports the measured mean next to the `2√N` bound.
+
+use std::collections::HashMap;
+
+use geogrid_core::builder::Mode;
+use geogrid_core::load::sample_routing_pairs;
+use geogrid_core::routing;
+use geogrid_core::RegionId;
+use geogrid_metrics::{gini, table::Table, Summary};
+
+use crate::common::{build_network, ExperimentConfig};
+
+/// Populations swept.
+pub const POPULATIONS: [usize; 7] = [256, 512, 1_024, 2_048, 4_096, 8_192, 16_384];
+
+/// Routed pairs sampled per population.
+pub const SAMPLES: usize = 1_000;
+
+/// One population's hop statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopRow {
+    /// Number of regions (basic network: == nodes).
+    pub nodes: usize,
+    /// Hop-count summary over the sampled pairs.
+    pub hops: Summary,
+    /// The paper's bound, `2√N`.
+    pub bound: f64,
+}
+
+/// Runs one population.
+pub fn run_population(config: &ExperimentConfig, nodes: usize) -> HopRow {
+    let topo = build_network(config, Mode::Basic, nodes, 0);
+    let mut rng = config.rng(22, nodes as u64);
+    let pairs = sample_routing_pairs(&topo, &mut rng, SAMPLES);
+    let hops = Summary::from_values(pairs.iter().map(|(from, target)| {
+        routing::route(&topo, *from, *target)
+            .expect("route succeeds on valid topology")
+            .hop_count() as f64
+    }));
+    HopRow {
+        nodes,
+        hops,
+        bound: 2.0 * (nodes as f64).sqrt(),
+    }
+}
+
+/// Runs the sweep and emits `routing_hops.csv`.
+pub fn run(config: &ExperimentConfig) -> Vec<HopRow> {
+    run_with_populations(config, &POPULATIONS)
+}
+
+/// Runs the sweep over custom populations.
+pub fn run_with_populations(config: &ExperimentConfig, populations: &[usize]) -> Vec<HopRow> {
+    let rows: Vec<HopRow> = populations
+        .iter()
+        .map(|&n| {
+            eprintln!("routing: population {n}...");
+            run_population(config, n)
+        })
+        .collect();
+    let mut table = Table::new([
+        "nodes",
+        "mean_hops",
+        "p50_hops",
+        "p99_hops",
+        "max_hops",
+        "bound_2_sqrt_n",
+        "mean_over_bound",
+    ]);
+    for row in &rows {
+        table.row([
+            row.nodes.to_string(),
+            format!("{:.2}", row.hops.mean()),
+            format!("{:.1}", row.hops.median()),
+            format!("{:.1}", row.hops.percentile(99.0)),
+            format!("{:.0}", row.hops.max()),
+            format!("{:.2}", row.bound),
+            format!("{:.3}", row.hops.mean() / row.bound),
+        ]);
+    }
+    config.emit("routing_hops", &table);
+    spread_experiment(config);
+    rows
+}
+
+/// Transit-load spread: greedy routing always burns the same corridors;
+/// the paper's "randomization of routing entries" spreads the forwarding
+/// work. Measures Gini of per-region transit counts and the mean hop cost
+/// paid for the spreading.
+pub fn spread_experiment(config: &ExperimentConfig) {
+    let n = 1_024;
+    let topo = build_network(config, Mode::Basic, n, 1);
+    let mut rng = config.rng(33, 0);
+    let pairs = sample_routing_pairs(&topo, &mut rng, 2_000);
+    let mut table = Table::new(["strategy", "transit_gini", "mean_hops"]);
+    for (label, slack) in [("greedy", None), ("randomized_25pct", Some(0.25))] {
+        let mut transits: HashMap<RegionId, f64> = HashMap::new();
+        let mut hops = 0usize;
+        for (from, target) in &pairs {
+            let path = match slack {
+                None => routing::route(&topo, *from, *target),
+                Some(s) => routing::route_randomized(&topo, *from, *target, s, &mut rng),
+            }
+            .expect("routable");
+            hops += path.hop_count();
+            for rid in &path.hops[..path.hops.len().saturating_sub(1)] {
+                *transits.entry(*rid).or_default() += 1.0;
+            }
+        }
+        // Include zero-transit regions in the spread measure.
+        let mut counts: Vec<f64> = topo
+            .region_ids()
+            .map(|r| transits.get(&r).copied().unwrap_or(0.0))
+            .collect();
+        counts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        table.row([
+            label.to_string(),
+            format!("{:.4}", gini(counts)),
+            format!("{:.2}", hops as f64 / pairs.len() as f64),
+        ]);
+    }
+    config.emit("routing_spread", &table);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hops_stay_within_paper_bound_and_scale() {
+        let config = ExperimentConfig {
+            out_dir: std::env::temp_dir().join("geogrid_routing_test"),
+            ..ExperimentConfig::default()
+        };
+        let rows = run_with_populations(&config, &[64, 256]);
+        for row in &rows {
+            assert!(
+                row.hops.mean() < row.bound,
+                "N={}: mean {} exceeds 2sqrt(N) {}",
+                row.nodes,
+                row.hops.mean(),
+                row.bound
+            );
+        }
+        // Quadrupling the network roughly doubles the mean hops (sqrt
+        // scaling; allow generous slack).
+        let ratio = rows[1].hops.mean() / rows[0].hops.mean();
+        assert!(
+            (1.3..=3.0).contains(&ratio),
+            "scaling ratio {ratio} not sqrt-like"
+        );
+        let _ = std::fs::remove_dir_all(&config.out_dir);
+    }
+}

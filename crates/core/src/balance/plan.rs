@@ -1,0 +1,122 @@
+//! Adaptation plans: what a mechanism decided to do.
+
+use std::fmt;
+
+use crate::RegionId;
+
+/// The eight adaptation mechanisms of Figure 4, labelled as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mechanism {
+    /// (a) Steal a neighbor's secondary owner.
+    StealSecondary,
+    /// (b) Switch primary owners with a neighbor.
+    SwitchPrimaries,
+    /// (c) Merge with a neighbor.
+    MergeWithNeighbor,
+    /// (d) Split the region between its dual peers.
+    SplitRegion,
+    /// (e) Switch primary with a neighbor's secondary.
+    SwitchPrimaryWithSecondary,
+    /// (f) Steal a remote secondary (TTL-guided search).
+    StealRemoteSecondary,
+    /// (g) Switch primary with a remote secondary.
+    SwitchPrimaryWithRemoteSecondary,
+    /// (h) Switch primary with a remote primary.
+    SwitchPrimaryWithRemotePrimary,
+}
+
+impl Mechanism {
+    /// The paper's letter for this mechanism.
+    pub fn letter(self) -> char {
+        match self {
+            Mechanism::StealSecondary => 'a',
+            Mechanism::SwitchPrimaries => 'b',
+            Mechanism::MergeWithNeighbor => 'c',
+            Mechanism::SplitRegion => 'd',
+            Mechanism::SwitchPrimaryWithSecondary => 'e',
+            Mechanism::StealRemoteSecondary => 'f',
+            Mechanism::SwitchPrimaryWithRemoteSecondary => 'g',
+            Mechanism::SwitchPrimaryWithRemotePrimary => 'h',
+        }
+    }
+
+    /// All mechanisms in the paper's cost order.
+    pub fn all() -> [Mechanism; 8] {
+        [
+            Mechanism::StealSecondary,
+            Mechanism::SwitchPrimaries,
+            Mechanism::MergeWithNeighbor,
+            Mechanism::SplitRegion,
+            Mechanism::SwitchPrimaryWithSecondary,
+            Mechanism::StealRemoteSecondary,
+            Mechanism::SwitchPrimaryWithRemoteSecondary,
+            Mechanism::SwitchPrimaryWithRemotePrimary,
+        ]
+    }
+
+    /// Whether this mechanism requires the TTL-guided remote search.
+    pub fn is_remote(self) -> bool {
+        matches!(
+            self,
+            Mechanism::StealRemoteSecondary
+                | Mechanism::SwitchPrimaryWithRemoteSecondary
+                | Mechanism::SwitchPrimaryWithRemotePrimary
+        )
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({})", self.letter())
+    }
+}
+
+/// A concrete, applicable adaptation decision for one overloaded region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptationPlan {
+    /// The mechanism chosen.
+    pub mechanism: Mechanism,
+    /// The overloaded region initiating the adaptation.
+    pub region: RegionId,
+    /// The counterpart region (donor / partner / merge neighbor), when the
+    /// mechanism involves one. `None` only for [`Mechanism::SplitRegion`].
+    pub partner: Option<RegionId>,
+}
+
+impl fmt::Display for AdaptationPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.partner {
+            Some(p) => write!(f, "{} {} with {}", self.mechanism, self.region, p),
+            None => write!(f, "{} {}", self.mechanism, self.region),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_are_a_through_h() {
+        let letters: Vec<char> = Mechanism::all().iter().map(|m| m.letter()).collect();
+        assert_eq!(letters, vec!['a', 'b', 'c', 'd', 'e', 'f', 'g', 'h']);
+    }
+
+    #[test]
+    fn remote_classification() {
+        assert!(!Mechanism::StealSecondary.is_remote());
+        assert!(Mechanism::StealRemoteSecondary.is_remote());
+        assert!(Mechanism::SwitchPrimaryWithRemotePrimary.is_remote());
+        assert_eq!(Mechanism::all().iter().filter(|m| m.is_remote()).count(), 3);
+    }
+
+    #[test]
+    fn plan_display() {
+        let plan = AdaptationPlan {
+            mechanism: Mechanism::SplitRegion,
+            region: RegionId::new(1),
+            partner: None,
+        };
+        assert_eq!(format!("{plan}"), "(d) r1");
+    }
+}

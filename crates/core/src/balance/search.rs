@@ -1,0 +1,109 @@
+//! TTL-guided search for remote adaptation candidates.
+//!
+//! "GeoGrid runs a Time to Live (TTL) guided search for the remote region
+//! whose secondary owner has more capacity than the primary owner of the
+//! overloaded region and is less loaded" (§2.4 (f)). The search walks the
+//! neighbor graph breadth-first up to `ttl` hops, skipping the origin and
+//! its direct neighborhood (those are covered by the local mechanisms).
+
+use std::collections::HashSet;
+
+use crate::{RegionId, Topology};
+
+/// Regions between 2 and `ttl` hops (inclusive) of `from` in the neighbor
+/// graph, in (depth, id) order — the candidate set for the remote
+/// mechanisms (f)–(h).
+///
+/// Returns an empty vector for `ttl < 2` or a dead `from`.
+pub fn ttl_search(topo: &Topology, from: RegionId, ttl: u32) -> Vec<RegionId> {
+    let Some(origin) = topo.region(from) else {
+        return Vec::new();
+    };
+    let mut seen: HashSet<RegionId> = HashSet::new();
+    seen.insert(from);
+    let mut frontier: Vec<RegionId> = origin.neighbors().to_vec();
+    for n in &frontier {
+        seen.insert(*n);
+    }
+    let mut out = Vec::new();
+    let mut depth = 1;
+    while depth < ttl && !frontier.is_empty() {
+        let mut next = Vec::new();
+        for rid in &frontier {
+            let Some(entry) = topo.region(*rid) else {
+                continue;
+            };
+            for &n in entry.neighbors() {
+                if seen.insert(n) {
+                    next.push(n);
+                }
+            }
+        }
+        next.sort();
+        out.extend(next.iter().copied());
+        frontier = next;
+        depth += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use geogrid_geometry::Space;
+
+    fn topo() -> Topology {
+        NetworkBuilder::new(Space::paper_evaluation(), 21)
+            .build(64)
+            .topology()
+            .clone()
+    }
+
+    #[test]
+    fn excludes_origin_and_direct_neighbors() {
+        let t = topo();
+        let from = t.first_region().unwrap();
+        let found = ttl_search(&t, from, 3);
+        assert!(!found.contains(&from));
+        for n in t.region(from).unwrap().neighbors() {
+            assert!(!found.contains(n), "{n} is a direct neighbor");
+        }
+        assert!(!found.is_empty());
+    }
+
+    #[test]
+    fn larger_ttl_finds_no_fewer() {
+        let t = topo();
+        let from = t.first_region().unwrap();
+        let small = ttl_search(&t, from, 2);
+        let big = ttl_search(&t, from, 5);
+        assert!(big.len() >= small.len());
+        for rid in &small {
+            assert!(big.contains(rid));
+        }
+    }
+
+    #[test]
+    fn ttl_below_two_is_empty() {
+        let t = topo();
+        let from = t.first_region().unwrap();
+        assert!(ttl_search(&t, from, 1).is_empty());
+        assert!(ttl_search(&t, from, 0).is_empty());
+    }
+
+    #[test]
+    fn results_are_unique() {
+        let t = topo();
+        let from = t.first_region().unwrap();
+        let found = ttl_search(&t, from, 4);
+        let unique: HashSet<RegionId> = found.iter().copied().collect();
+        assert_eq!(unique.len(), found.len());
+    }
+
+    #[test]
+    fn dead_region_yields_empty() {
+        let t = topo();
+        assert!(ttl_search(&t, RegionId::new(9999), 3).is_empty());
+    }
+}

@@ -1,0 +1,22 @@
+//! The sans-io per-node protocol engine.
+//!
+//! [`NodeEngine`] is the GeoGrid middleware one proxy node runs: a pure
+//! state machine that consumes [`Input`]s (protocol messages, timer ticks,
+//! local user requests) and emits [`Effect`]s (messages to send, events for
+//! the local user). It owns no sockets and no clock, so the identical code
+//! runs under the deterministic simulator
+//! ([`crate::engine::sim`]) and under the tokio transport
+//! (`geogrid-transport`).
+//!
+//! The engine implements the distributed version of what
+//! [`Topology`](crate::Topology) models centrally: geographic join with
+//! region split, dual-peer placement, greedy query routing with fan-out,
+//! publish/subscribe delivery, primary→secondary replication, heartbeats,
+//! and fail-over promotion.
+
+pub mod messages;
+mod node;
+pub mod sim;
+
+pub use messages::{Message, NeighborInfo};
+pub use node::{ClientEvent, Effect, EngineConfig, EngineMode, Input, NodeEngine, OwnerView};

@@ -1,0 +1,2562 @@
+//! The per-node protocol state machine.
+
+use geogrid_geometry::{Point, Region, Space};
+
+use crate::engine::messages::{Message, NeighborInfo};
+use crate::service::{LocationQuery, LocationRecord, RegionStore, Subscription};
+use crate::topology::Role;
+use crate::{NodeId, NodeInfo};
+
+/// Which join protocol the engine speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineMode {
+    /// Basic GeoGrid: every join splits the covering region.
+    #[default]
+    Basic,
+    /// Dual-peer GeoGrid: joins fill half-full regions first.
+    DualPeer,
+}
+
+/// Engine tuning. Times are in the driver's tick domain (milliseconds
+/// under both the simulator and the tokio transport).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Join protocol.
+    pub mode: EngineMode,
+    /// How often the driver is expected to deliver [`Input::Tick`].
+    pub heartbeat_interval: u64,
+    /// A dual peer silent for this long is declared failed (§2.3 has
+    /// primaries and secondaries heartbeat "at a higher frequency").
+    pub peer_timeout: u64,
+    /// A neighbor primary silent for this long is dropped from the
+    /// routing table.
+    pub neighbor_timeout: u64,
+    /// Hop budget for greedy forwarding (loop guard).
+    pub max_hops: u32,
+    /// Whether the engine runs the message-level load-balance adaptation
+    /// (mechanisms (a)/(e) of §2.4; the remote and merge/split mechanisms
+    /// are exercised through the topology model).
+    pub balance_enabled: bool,
+    /// Ticks per workload-statistics window: the served-query count is
+    /// folded into the node's workload index at this cadence, and the
+    /// adaptation trigger is evaluated.
+    pub stats_window_ticks: u64,
+    /// Adaptation trigger: adapt when own index exceeds this multiple of
+    /// the lowest neighbor index (√2 in the paper).
+    pub trigger_ratio: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            mode: EngineMode::DualPeer,
+            heartbeat_interval: 100,
+            peer_timeout: 350,
+            neighbor_timeout: 1_000,
+            max_hops: 256,
+            balance_enabled: true,
+            stats_window_ticks: 5,
+            trigger_ratio: std::f64::consts::SQRT_2,
+        }
+    }
+}
+
+/// Local input to the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// Become the first node: own the entire space.
+    BootstrapAsFirst,
+    /// Start joining through `entry` (any known node).
+    Join {
+        /// The entry node to contact.
+        entry: NodeId,
+    },
+    /// A protocol message arrived.
+    Message {
+        /// Sender node.
+        from: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// Periodic driver tick (heartbeats, timeouts).
+    Tick,
+    /// Gracefully leave the network (§2.3 "Node Departure").
+    Leave,
+    /// The local user (mobile client) issues a query.
+    UserQuery {
+        /// The query.
+        query: LocationQuery,
+    },
+    /// The local user publishes a record.
+    UserPublish {
+        /// The record.
+        record: LocationRecord,
+    },
+    /// The local user registers a subscription.
+    UserSubscribe {
+        /// The subscription.
+        sub: Subscription,
+    },
+}
+
+/// Externally visible consequence of handling an input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Send a protocol message to another node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The message.
+        message: Message,
+    },
+    /// Deliver an event to the local client.
+    Client(ClientEvent),
+}
+
+/// Events the engine reports to its local client (the proxied mobile
+/// user / operator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// The node now (co-)owns a region.
+    Joined {
+        /// The owned region.
+        region: Region,
+        /// The role held.
+        role: Role,
+    },
+    /// The node's dual peer failed or left; this node is now the primary.
+    PromotedToPrimary {
+        /// The owned region.
+        region: Region,
+    },
+    /// This primary's secondary went silent; the region is half-full.
+    PeerLost {
+        /// The owned region.
+        region: Region,
+    },
+    /// Results for a user query arrived. One event arrives per answering
+    /// region (the executor plus each fanned-out overlapping region);
+    /// `query_id` correlates them to the issuing [`Input::UserQuery`].
+    QueryResults {
+        /// The correlation id returned by the issuing engine.
+        query_id: u64,
+        /// Matching records from one answering region.
+        records: Vec<LocationRecord>,
+    },
+    /// A subscribed publication arrived.
+    Notified {
+        /// The matching record.
+        record: LocationRecord,
+    },
+    /// This node executed a load-balance adaptation (§2.4).
+    AdaptationExecuted {
+        /// The paper's letter for the mechanism used ('a' or 'e' at the
+        /// engine level).
+        mechanism: char,
+    },
+    /// The node has left the overlay (after [`Input::Leave`]); the driver
+    /// may shut the node down.
+    Left,
+    /// A graceful departure was requested but the region has no dual peer
+    /// and no mergeable neighbor to hand it to; the node stays (retry
+    /// later, after churn reshapes the neighborhood, or crash-leave and
+    /// let the model-level repair take over).
+    LeaveDeferred,
+}
+
+/// Read-only view of an owner's protocol state (drivers and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnerView {
+    /// The owned region.
+    pub region: Region,
+    /// This node's role.
+    pub role: Role,
+    /// The dual peer, if any.
+    pub peer: Option<NodeInfo>,
+    /// Known neighbor entries.
+    pub neighbors: Vec<NeighborInfo>,
+    /// Number of records held.
+    pub records: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum State {
+    Idle,
+    Joining,
+    // Boxed: Owner is two orders of magnitude larger than the other
+    // variants (store, neighbor tables), and engines move between states
+    // rarely.
+    Owner(Box<Owner>),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Owner {
+    region: Region,
+    role: Role,
+    peer: Option<NodeInfo>,
+    neighbors: Vec<NeighborInfo>,
+    store: RegionStore,
+    last_peer_seen: u64,
+    last_neighbor_seen: Vec<(NodeId, u64)>,
+    /// Queries/publications served since the last statistics window.
+    served: f64,
+    /// Workload index measured over the last window (served / capacity).
+    my_index: f64,
+    /// Latest workload indexes reported by neighbor primaries.
+    neighbor_indexes: Vec<(NodeId, f64)>,
+    /// An adaptation request is outstanding (avoid concurrent attempts).
+    steal_in_flight: bool,
+    /// Ticks seen (drives the statistics window).
+    ticks: u64,
+    /// Silent sibling regions queued for absorption, pending the
+    /// [`Message::WhoOwns`] ring-check (entry, absorb-after deadline).
+    pending_claims: Vec<(NeighborInfo, u64)>,
+    /// Whether the current peer has heartbeat us since it was installed.
+    /// An unconfirmed secondary is still settling a hand-off and must not
+    /// be granted away to a steal request.
+    peer_confirmed: bool,
+    /// Recently seen fan-out keys (query/subscription flood dedup), a
+    /// bounded FIFO.
+    seen_fanout: std::collections::VecDeque<(NodeId, u64)>,
+}
+
+impl From<Owner> for State {
+    fn from(owner: Owner) -> State {
+        State::Owner(Box::new(owner))
+    }
+}
+
+impl Owner {
+    fn new(
+        region: Region,
+        role: Role,
+        peer: Option<NodeInfo>,
+        neighbors: Vec<NeighborInfo>,
+        store: RegionStore,
+        now: u64,
+    ) -> Self {
+        let last_neighbor_seen = neighbors.iter().map(|n| (n.primary.id(), now)).collect();
+        Self {
+            region,
+            role,
+            peer,
+            neighbors,
+            store,
+            last_peer_seen: now,
+            last_neighbor_seen,
+            served: 0.0,
+            my_index: 0.0,
+            neighbor_indexes: Vec::new(),
+            steal_in_flight: false,
+            ticks: 0,
+            pending_claims: Vec::new(),
+            peer_confirmed: false,
+            seen_fanout: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn upsert_neighbor(&mut self, own_region: Region, info: NeighborInfo, now: u64) {
+        // Fresh knowledge about the area cancels any pending absorption
+        // overlapping it (the region is not dead after all).
+        self.pending_claims
+            .retain(|(gone, _)| !gone.region.intersects(&info.region));
+        self.neighbors
+            .retain(|n| n.primary.id() != info.primary.id() && n.region != info.region);
+        self.last_neighbor_seen
+            .retain(|(id, _)| *id != info.primary.id());
+        if info.region.touches_edge(&own_region) {
+            self.last_neighbor_seen.push((info.primary.id(), now));
+            self.neighbors.push(info);
+        }
+    }
+
+    /// Flood dedup: returns true the first time a fan-out key is seen.
+    fn first_sight(&mut self, key: (NodeId, u64)) -> bool {
+        if self.seen_fanout.contains(&key) {
+            return false;
+        }
+        if self.seen_fanout.len() >= 128 {
+            self.seen_fanout.pop_front();
+        }
+        self.seen_fanout.push_back(key);
+        true
+    }
+
+    fn record_neighbor_index(&mut self, id: NodeId, index: f64) {
+        self.neighbor_indexes.retain(|(n, _)| *n != id);
+        self.neighbor_indexes.push((id, index));
+    }
+
+    /// Lowest index among *current* neighbors (stale reports for dropped
+    /// neighbors are ignored).
+    fn lowest_neighbor_index(&self) -> Option<f64> {
+        let current: Vec<NodeId> = self.neighbors.iter().map(|n| n.primary.id()).collect();
+        self.neighbor_indexes
+            .iter()
+            .filter(|(id, _)| current.contains(id))
+            .map(|(_, v)| *v)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
+    }
+}
+
+/// The GeoGrid middleware state machine for one node.
+///
+/// See the [module docs](crate::engine) for the design and
+/// [`crate::engine::sim`] for a complete simulated deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeEngine {
+    info: NodeInfo,
+    space: Space,
+    config: EngineConfig,
+    state: State,
+    next_query_id: u64,
+}
+
+impl NodeEngine {
+    /// Creates an engine for node `info` over `space`.
+    pub fn new(info: NodeInfo, space: Space, config: EngineConfig) -> Self {
+        Self {
+            info,
+            space,
+            config,
+            state: State::Idle,
+            next_query_id: 0,
+        }
+    }
+
+    /// This node's descriptor.
+    pub fn info(&self) -> NodeInfo {
+        self.info
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Whether the node currently owns (or co-owns) a region.
+    pub fn is_owner(&self) -> bool {
+        matches!(self.state, State::Owner(_))
+    }
+
+    /// A snapshot of the owner state, if owning.
+    pub fn owner_view(&self) -> Option<OwnerView> {
+        match &self.state {
+            State::Owner(o) => Some(OwnerView {
+                region: o.region,
+                role: o.role,
+                peer: o.peer,
+                neighbors: o.neighbors.clone(),
+                records: o.store.record_count(),
+            }),
+            _ => None,
+        }
+    }
+
+    /// Processes one input at tick `now`, returning the effects to apply.
+    pub fn handle(&mut self, now: u64, input: Input) -> Vec<Effect> {
+        match input {
+            Input::BootstrapAsFirst => self.handle_bootstrap(now),
+            Input::Join { entry } => self.handle_join_start(entry),
+            Input::Message { from, message } => self.handle_message(now, from, message),
+            Input::Tick => self.handle_tick(now),
+            Input::Leave => self.handle_leave(now),
+            Input::UserQuery { query } => self.handle_user_query(now, query),
+            Input::UserPublish { record } => self.handle_user_publish(now, record),
+            Input::UserSubscribe { sub } => self.handle_user_subscribe(now, sub),
+        }
+    }
+
+    fn handle_bootstrap(&mut self, now: u64) -> Vec<Effect> {
+        let region = self.space.bounds();
+        self.state = State::from(Owner::new(
+            region,
+            Role::Primary,
+            None,
+            Vec::new(),
+            RegionStore::new(),
+            now,
+        ));
+        vec![Effect::Client(ClientEvent::Joined {
+            region,
+            role: Role::Primary,
+        })]
+    }
+
+    /// Graceful departure (§2.3):
+    /// * a secondary just notifies its primary (region becomes half-full);
+    /// * a primary with a dual peer hands the region to it;
+    /// * a sole owner hands region + store to a mergeable neighbor;
+    /// * otherwise the departure is deferred (see
+    ///   [`ClientEvent::LeaveDeferred`]).
+    fn handle_leave(&mut self, _now: u64) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            self.state = State::Idle;
+            return vec![Effect::Client(ClientEvent::Left)];
+        };
+        let mut effects = Vec::new();
+        match (owner.role, owner.peer) {
+            (Role::Secondary, Some(primary)) => {
+                effects.push(Effect::Send {
+                    to: primary.id(),
+                    message: Message::LeaveNotice,
+                });
+            }
+            (Role::Primary, Some(peer)) => {
+                effects.push(Effect::Send {
+                    to: peer.id(),
+                    message: Message::TakeOverRegion {
+                        region: owner.region,
+                        store: owner.store.clone(),
+                        neighbors: owner.neighbors.clone(),
+                        new_secondary: None,
+                    },
+                });
+            }
+            (_, None) => {
+                // Sole owner: find a neighbor whose rectangle re-forms a
+                // rectangle with ours and hand everything over.
+                let target = owner
+                    .neighbors
+                    .iter()
+                    .find(|n| n.region.merge(&owner.region).is_some())
+                    .map(|n| n.primary.id());
+                match target {
+                    Some(absorber) => {
+                        effects.push(Effect::Send {
+                            to: absorber,
+                            message: Message::MergeRegions {
+                                region: owner.region,
+                                store: owner.store.clone(),
+                                neighbors: owner.neighbors.clone(),
+                            },
+                        });
+                    }
+                    None => {
+                        return vec![Effect::Client(ClientEvent::LeaveDeferred)];
+                    }
+                }
+            }
+        }
+        self.state = State::Idle;
+        effects.push(Effect::Client(ClientEvent::Left));
+        effects
+    }
+
+    /// Ring-check: reply with any live entry for (part of) the asked
+    /// region — our own region included (we may be the promoted owner the
+    /// asker never learned about).
+    fn on_who_owns(&mut self, from: NodeId, region: Region) -> Vec<Effect> {
+        let State::Owner(owner) = &self.state else {
+            return Vec::new();
+        };
+        let mut effects = Vec::new();
+        if owner.region.intersects(&region) {
+            let me = NeighborInfo {
+                primary: if owner.role == Role::Primary {
+                    self.info
+                } else {
+                    owner.peer.unwrap_or(self.info)
+                },
+                secondary: if owner.role == Role::Primary {
+                    owner.peer
+                } else {
+                    Some(self.info)
+                },
+                region: owner.region,
+            };
+            effects.push(Effect::Send {
+                to: from,
+                message: Message::OwnerIs { info: me },
+            });
+        }
+        for n in &owner.neighbors {
+            if n.region.intersects(&region) {
+                effects.push(Effect::Send {
+                    to: from,
+                    message: Message::OwnerIs { info: n.clone() },
+                });
+            }
+        }
+        effects
+    }
+
+    /// Our primary granted us away (§2.4 steal): give up the secondary
+    /// role and wait for the TakeOverRegion hand-off (or a re-placement).
+    fn on_detached(&mut self, from: NodeId) -> Vec<Effect> {
+        if let State::Owner(owner) = &self.state {
+            if owner.role == Role::Secondary && owner.peer.is_some_and(|p| p.id() == from) {
+                self.state = State::Joining;
+            }
+        }
+        Vec::new()
+    }
+
+    /// A secondary announced its departure: the region is half-full.
+    fn on_leave_notice(&mut self, from: NodeId) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        if owner.peer.is_some_and(|p| p.id() == from) {
+            owner.peer = None;
+            let entry = NeighborInfo::new(self.info, owner.region);
+            return owner
+                .neighbors
+                .iter()
+                .map(|n| Effect::Send {
+                    to: n.primary.id(),
+                    message: Message::NeighborUpdate {
+                        info: entry.clone(),
+                    },
+                })
+                .collect();
+        }
+        Vec::new()
+    }
+
+    /// A departing sole-owner neighbor handed us its region: absorb it.
+    fn on_merge_regions(
+        &mut self,
+        now: u64,
+        region: Region,
+        store: RegionStore,
+        neighbors: Vec<NeighborInfo>,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        let Some(merged) = owner.region.merge(&region) else {
+            return Vec::new(); // stale request: shapes changed
+        };
+        owner.region = merged;
+        owner.store.absorb(store);
+        // Union the departed node's neighbor table with ours; entries are
+        // re-filtered against the merged rectangle.
+        let mut candidates = std::mem::take(&mut owner.neighbors);
+        candidates.extend(neighbors);
+        owner.last_neighbor_seen.clear();
+        let mut effects = Vec::new();
+        let me = self.info.id();
+        let entry = NeighborInfo {
+            primary: self.info,
+            secondary: owner.peer,
+            region: merged,
+        };
+        let mut seen = Vec::new();
+        for n in candidates {
+            if n.primary.id() == me || seen.contains(&n.primary.id()) {
+                continue;
+            }
+            if n.region.touches_edge(&merged) {
+                seen.push(n.primary.id());
+                owner.last_neighbor_seen.push((n.primary.id(), now));
+                effects.push(Effect::Send {
+                    to: n.primary.id(),
+                    message: Message::NeighborUpdate {
+                        info: entry.clone(),
+                    },
+                });
+                owner.neighbors.push(n);
+            }
+        }
+        effects
+    }
+
+    fn handle_join_start(&mut self, entry: NodeId) -> Vec<Effect> {
+        self.state = State::Joining;
+        vec![Effect::Send {
+            to: entry,
+            message: Message::JoinRequest {
+                joiner: self.info,
+                hops: 0,
+            },
+        }]
+    }
+
+    fn handle_tick(&mut self, now: u64) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        let mut effects = Vec::new();
+        // Fold the served-request count into the workload index at the
+        // statistics-window cadence (§2.4: nodes periodically exchange
+        // workload statistics).
+        owner.ticks += 1;
+        if owner
+            .ticks
+            .is_multiple_of(self.config.stats_window_ticks.max(1))
+        {
+            owner.my_index = owner.served / self.info.capacity();
+            owner.served = 0.0;
+        }
+        let my_index = owner.my_index;
+        let self_entry = NeighborInfo {
+            primary: if owner.role == Role::Primary {
+                self.info
+            } else {
+                owner.peer.unwrap_or(self.info)
+            },
+            secondary: if owner.role == Role::Primary {
+                owner.peer
+            } else {
+                Some(self.info)
+            },
+            region: owner.region,
+        };
+        // Heartbeat the dual peer (both directions, high frequency).
+        if let Some(peer) = owner.peer {
+            effects.push(Effect::Send {
+                to: peer.id(),
+                message: Message::Heartbeat {
+                    info: self_entry.clone(),
+                    index: my_index,
+                },
+            });
+            if now.saturating_sub(owner.last_peer_seen) > self.config.peer_timeout {
+                // Peer declared failed.
+                let region = owner.region;
+                let was_secondary = owner.role == Role::Secondary;
+                owner.peer = None;
+                owner.last_peer_seen = 0;
+                if was_secondary {
+                    owner.role = Role::Primary;
+                    // The replica's seen-times are stale by construction
+                    // (neighbors heartbeat the primary, not the secondary);
+                    // restart the silence clocks or the fresh primary would
+                    // immediately drop its whole table.
+                    for (_, seen) in owner.last_neighbor_seen.iter_mut() {
+                        *seen = now;
+                    }
+                    effects.push(Effect::Client(ClientEvent::PromotedToPrimary { region }));
+                    // Tell neighbors the primary changed.
+                    let entry = NeighborInfo::new(self.info, region);
+                    for n in &owner.neighbors {
+                        effects.push(Effect::Send {
+                            to: n.primary.id(),
+                            message: Message::NeighborUpdate {
+                                info: entry.clone(),
+                            },
+                        });
+                    }
+                } else {
+                    effects.push(Effect::Client(ClientEvent::PeerLost { region }));
+                }
+            }
+        }
+        // Primaries periodically refresh the dual peer's replica (store +
+        // neighbor table) so a promoted secondary starts from fresh state.
+        if owner.role == Role::Primary {
+            if let Some(peer) = owner.peer {
+                let period = self.config.heartbeat_interval.max(1);
+                if (now / period).is_multiple_of(5) {
+                    effects.push(Effect::Send {
+                        to: peer.id(),
+                        message: Message::SyncState {
+                            store: owner.store.clone(),
+                            neighbors: owner.neighbors.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        // Primaries heartbeat neighbor primaries (lower frequency is the
+        // driver's choice of tick cadence; every tick here).
+        if owner.role == Role::Primary {
+            for n in &owner.neighbors {
+                effects.push(Effect::Send {
+                    to: n.primary.id(),
+                    message: Message::Heartbeat {
+                        info: self_entry.clone(),
+                        index: my_index,
+                    },
+                });
+            }
+            // Drop neighbors that went silent (their secondary will
+            // re-announce via its own promotion update).
+            let timeout = self.config.neighbor_timeout;
+            let silent: Vec<NodeId> = owner
+                .last_neighbor_seen
+                .iter()
+                .filter(|(_, seen)| now.saturating_sub(*seen) > timeout && *seen > 0)
+                .map(|(id, _)| *id)
+                .collect();
+            if !silent.is_empty() {
+                // Coverage repair: a silent region whose owners (primary
+                // *and* any secondary -- a live secondary would have
+                // promoted and re-announced within the timeout) are gone
+                // leaves a hole in the space. If the dead region is our
+                // congruent sibling -- merging yields a rectangle -- and
+                // we are the south/west sibling (a deterministic, purely
+                // local tie-break so at most one claimant exists), absorb
+                // it. Its data is lost (that is what the failover
+                // experiment measures); coverage is restored.
+                let dead: Vec<NeighborInfo> = owner
+                    .neighbors
+                    .iter()
+                    .filter(|n| silent.contains(&n.primary.id()))
+                    .cloned()
+                    .collect();
+                owner
+                    .neighbors
+                    .retain(|n| !silent.contains(&n.primary.id()));
+                owner
+                    .last_neighbor_seen
+                    .retain(|(id, _)| !silent.contains(id));
+                for gone in dead {
+                    let mine = owner.region;
+                    // Claim only as the *west* sibling: merge compatibility
+                    // already forces equal y/height for a west-east pair,
+                    // and at most one region can sit flush to the dead
+                    // region's west edge with its exact extent -- so the
+                    // claimant is globally unique without coordination. (A
+                    // south sibling could also merge; letting both claim
+                    // could overlap, so it does not.)
+                    let claims = gone.region.merge(&mine).is_some()
+                        && (mine.y() - gone.region.y()).abs() < 1e-9
+                        && mine.x() < gone.region.x();
+                    if !claims {
+                        continue;
+                    }
+                    // Ring-check before absorbing: a promoted secondary we
+                    // never learned about may own the region. Ask every
+                    // current neighbor; absorb only if nobody knows a live
+                    // owner by the deadline.
+                    for n in &owner.neighbors {
+                        effects.push(Effect::Send {
+                            to: n.primary.id(),
+                            message: Message::WhoOwns {
+                                region: gone.region,
+                            },
+                        });
+                    }
+                    owner
+                        .pending_claims
+                        .push((gone, now + self.config.neighbor_timeout));
+                }
+            }
+        }
+        // Absorb pending claims whose ring-check came back empty.
+        if owner.role == Role::Primary {
+            let due: Vec<NeighborInfo> = owner
+                .pending_claims
+                .iter()
+                .filter(|(_, deadline)| now >= *deadline)
+                .map(|(gone, _)| gone.clone())
+                .collect();
+            owner.pending_claims.retain(|(_, deadline)| now < *deadline);
+            for gone in due {
+                let mine = owner.region;
+                // Re-verify: shapes may have changed while waiting, and a
+                // live overlapping entry means the region is owned.
+                let still_claimable = gone.region.merge(&mine).is_some()
+                    && (mine.y() - gone.region.y()).abs() < 1e-9
+                    && mine.x() < gone.region.x()
+                    && !owner
+                        .neighbors
+                        .iter()
+                        .any(|n| n.region.intersects(&gone.region));
+                if !still_claimable {
+                    continue;
+                }
+                let merged = mine.merge(&gone.region).expect("checked");
+                owner.region = merged;
+                let entry = NeighborInfo {
+                    primary: self.info,
+                    secondary: owner.peer,
+                    region: merged,
+                };
+                // Growing the region only gains edge contact, so the
+                // existing entries stay valid; announce the new shape.
+                for n in &owner.neighbors {
+                    effects.push(Effect::Send {
+                        to: n.primary.id(),
+                        message: Message::NeighborUpdate {
+                            info: entry.clone(),
+                        },
+                    });
+                }
+            }
+        }
+        // Adaptation trigger (§2.4): a primary whose index exceeds √2×
+        // the lowest neighbor index tries the cheapest applicable
+        // mechanism — (a) steal a neighbor's stronger secondary when
+        // half-full, (e) switch places with one when full.
+        if self.config.balance_enabled
+            && owner.role == Role::Primary
+            && !owner.steal_in_flight
+            && owner
+                .ticks
+                .is_multiple_of(self.config.stats_window_ticks.max(1))
+        {
+            if let Some(lowest) = owner.lowest_neighbor_index() {
+                if owner.my_index > self.config.trigger_ratio * lowest && owner.my_index > 0.0 {
+                    let my_cap = self.info.capacity();
+                    let donor = owner
+                        .neighbors
+                        .iter()
+                        .filter(|n| n.secondary.is_some_and(|s| s.capacity() > my_cap))
+                        .min_by(|a, b| {
+                            let ia = owner
+                                .neighbor_indexes
+                                .iter()
+                                .find(|(id, _)| *id == a.primary.id())
+                                .map(|(_, v)| *v)
+                                .unwrap_or(f64::INFINITY);
+                            let ib = owner
+                                .neighbor_indexes
+                                .iter()
+                                .find(|(id, _)| *id == b.primary.id())
+                                .map(|(_, v)| *v)
+                                .unwrap_or(f64::INFINITY);
+                            ia.partial_cmp(&ib)
+                                .expect("finite")
+                                .then_with(|| a.primary.id().cmp(&b.primary.id()))
+                        })
+                        .map(|n| n.primary.id());
+                    if let Some(donor) = donor {
+                        owner.steal_in_flight = true;
+                        effects.push(Effect::Send {
+                            to: donor,
+                            message: Message::StealSecondaryRequest {
+                                requester: self.info,
+                                index: owner.my_index,
+                                swap: owner.peer.is_some(),
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        effects
+    }
+
+    /// Donor side of mechanisms (a)/(e): detach our secondary for the
+    /// overloaded requester if the request still makes sense.
+    fn on_steal_request(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        requester: NodeInfo,
+        index: f64,
+        swap: bool,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        let deny = |from: NodeId| {
+            vec![Effect::Send {
+                to: from,
+                message: Message::StealSecondaryDeny,
+            }]
+        };
+        if owner.role != Role::Primary {
+            return deny(from);
+        }
+        let Some(secondary) = owner.peer else {
+            return deny(from);
+        };
+        // Only give up a secondary that actually helps (stronger than the
+        // requester's primary), only if we are less loaded ourselves, and
+        // only if the secondary has confirmed itself since installation —
+        // granting away a peer that is still settling a hand-off of its
+        // own forks region ownership.
+        if secondary.capacity() <= requester.capacity()
+            || owner.my_index >= index
+            || !owner.peer_confirmed
+        {
+            return deny(from);
+        }
+        let donor_region = owner.region;
+        if swap {
+            // Mechanism (e): the requester becomes our new secondary.
+            owner.peer = Some(requester);
+            owner.last_peer_seen = now;
+            owner.peer_confirmed = false;
+        } else {
+            // Mechanism (a): we are left half-full.
+            owner.peer = None;
+        }
+        let mut effects = vec![
+            Effect::Send {
+                to: from,
+                message: Message::StealSecondaryGrant {
+                    secondary,
+                    donor_region,
+                    swap,
+                },
+            },
+            // The detached secondary must not promote itself while the
+            // hand-off is in flight.
+            Effect::Send {
+                to: secondary.id(),
+                message: Message::Detached,
+            },
+        ];
+        // Routing-table maintenance: our entry changed.
+        let entry = NeighborInfo {
+            primary: self.info,
+            secondary: owner.peer,
+            region: donor_region,
+        };
+        for n in &owner.neighbors {
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: entry.clone(),
+                },
+            });
+        }
+        effects
+    }
+
+    /// Requester side: install the stolen node as our region's primary.
+    fn on_steal_grant(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        secondary: NodeInfo,
+        donor_region: Region,
+        swap: bool,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        owner.steal_in_flight = false;
+        let premise_holds = owner.role == Role::Primary
+            && if swap {
+                owner.peer.is_some()
+            } else {
+                owner.peer.is_none()
+            };
+        if !premise_holds {
+            // Our situation changed between request and grant (a split, a
+            // join, a promotion). The stolen node is detached from its
+            // donor and MUST be placed somewhere or its stale self-view
+            // eventually promotes into an overlap: run it through the
+            // normal dual-peer placement as if it were a fresh joiner.
+            return self.dual_peer_place(now, secondary);
+        }
+        let my_region = owner.region;
+        let my_store = owner.store.clone();
+        let my_neighbors = owner.neighbors.clone();
+        let old_peer = owner.peer;
+        let mut effects = Vec::new();
+        let new_secondary = if swap { old_peer } else { Some(self.info) };
+        effects.push(Effect::Send {
+            to: secondary.id(),
+            message: Message::TakeOverRegion {
+                region: my_region,
+                store: my_store,
+                neighbors: my_neighbors.clone(),
+                new_secondary,
+            },
+        });
+        effects.push(Effect::Client(ClientEvent::AdaptationExecuted {
+            mechanism: if swap { 'e' } else { 'a' },
+        }));
+        if swap {
+            // Mechanism (e): we take the stolen node's old place as the
+            // donor's secondary.
+            let donor_info = owner
+                .neighbors
+                .iter()
+                .find(|n| n.primary.id() == from)
+                .map(|n| n.primary)
+                .unwrap_or(NodeInfo::new(
+                    from,
+                    donor_region.center(),
+                    f64::MIN_POSITIVE,
+                ));
+            self.state = State::from(Owner::new(
+                donor_region,
+                Role::Secondary,
+                Some(donor_info),
+                Vec::new(), // refreshed by the donor's periodic SyncState
+                RegionStore::new(),
+                now,
+            ));
+        } else {
+            // Mechanism (a): we retire to secondary of our own region
+            // under the stronger stolen node.
+            owner.role = Role::Secondary;
+            owner.peer = Some(secondary);
+            owner.last_peer_seen = now;
+        }
+        effects
+    }
+
+    /// The stolen node becomes the primary of the requester's region.
+    fn on_take_over_region(
+        &mut self,
+        now: u64,
+        region: Region,
+        store: RegionStore,
+        neighbors: Vec<NeighborInfo>,
+        new_secondary: Option<NodeInfo>,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let entry = NeighborInfo {
+            primary: self.info,
+            secondary: new_secondary,
+            region,
+        };
+        for n in &neighbors {
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: entry.clone(),
+                },
+            });
+        }
+        // Re-seat the inherited secondary under us. Without this, a
+        // secondary inherited from the displaced primary keeps pointing
+        // its peer link at the departed node, times it out, and promotes
+        // into an ownership fork.
+        if let Some(sec) = new_secondary {
+            if sec.id() != self.info.id() {
+                effects.push(Effect::Send {
+                    to: sec.id(),
+                    message: Message::JoinAsSecondary {
+                        region,
+                        primary: self.info,
+                        store: store.clone(),
+                        neighbors: neighbors.clone(),
+                    },
+                });
+            }
+        }
+        self.state = State::from(Owner::new(
+            region,
+            Role::Primary,
+            new_secondary,
+            neighbors,
+            store,
+            now,
+        ));
+        effects.push(Effect::Client(ClientEvent::Joined {
+            region,
+            role: Role::Primary,
+        }));
+        effects
+    }
+
+    fn handle_message(&mut self, now: u64, from: NodeId, message: Message) -> Vec<Effect> {
+        match message {
+            Message::JoinRequest { joiner, hops } => self.on_join_request(now, joiner, hops),
+            Message::JoinDirected { joiner } => self.on_join_directed(now, joiner),
+            Message::JoinSplit {
+                region,
+                neighbors,
+                store,
+            } => self.on_join_split(now, region, neighbors, store),
+            Message::JoinAsSecondary {
+                region,
+                primary,
+                store,
+                neighbors,
+            } => self.on_join_as_secondary(now, from, region, primary, store, neighbors),
+            Message::SplitTakeover {
+                region,
+                neighbors,
+                store,
+            } => self.on_split_takeover(now, region, neighbors, store),
+            Message::NeighborUpdate { info } => self.on_neighbor_update(now, info),
+            Message::Query {
+                query,
+                query_id,
+                reply_to,
+                hops,
+                fanout,
+            } => self.on_query(now, query, query_id, reply_to, hops, fanout),
+            Message::QueryReply { query_id, records } => {
+                vec![Effect::Client(ClientEvent::QueryResults {
+                    query_id,
+                    records,
+                })]
+            }
+            Message::Publish { record, hops } => self.on_publish(now, record, hops),
+            Message::Subscribe { sub, hops, fanout } => self.on_subscribe(now, sub, hops, fanout),
+            Message::Notify { record } => {
+                vec![Effect::Client(ClientEvent::Notified { record })]
+            }
+            Message::Heartbeat { info, index } => self.on_heartbeat(now, from, info, index),
+            Message::StealSecondaryRequest {
+                requester,
+                index,
+                swap,
+            } => self.on_steal_request(now, from, requester, index, swap),
+            Message::StealSecondaryGrant {
+                secondary,
+                donor_region,
+                swap,
+            } => self.on_steal_grant(now, from, secondary, donor_region, swap),
+            Message::StealSecondaryDeny => {
+                if let State::Owner(owner) = &mut self.state {
+                    owner.steal_in_flight = false;
+                }
+                Vec::new()
+            }
+            Message::TakeOverRegion {
+                region,
+                store,
+                neighbors,
+                new_secondary,
+            } => self.on_take_over_region(now, region, store, neighbors, new_secondary),
+            Message::LeaveNotice => self.on_leave_notice(from),
+            Message::Detached => self.on_detached(from),
+            Message::WhoOwns { region } => self.on_who_owns(from, region),
+            Message::OwnerIs { info } => self.on_neighbor_update(now, info),
+            Message::MergeRegions {
+                region,
+                store,
+                neighbors,
+            } => self.on_merge_regions(now, region, store, neighbors),
+            Message::SyncState { store, neighbors } => self.on_sync_state(now, store, neighbors),
+        }
+    }
+
+    /// Greedy next hop toward `target` from this owner's neighbor table.
+    fn greedy_next(owner: &Owner, target: Point) -> Option<NodeId> {
+        owner
+            .neighbors
+            .iter()
+            .min_by(|a, b| {
+                let da = a.region.distance_to_point(target);
+                let db = b.region.distance_to_point(target);
+                da.partial_cmp(&db)
+                    .expect("finite")
+                    .then_with(|| {
+                        let ca = a.region.center().distance(target);
+                        let cb = b.region.center().distance(target);
+                        ca.partial_cmp(&cb).expect("finite")
+                    })
+                    .then_with(|| a.primary.id().cmp(&b.primary.id()))
+            })
+            .map(|n| n.primary.id())
+    }
+
+    fn covers(&self, owner: &Owner, p: Point) -> bool {
+        self.space.region_covers(&owner.region, p)
+    }
+
+    fn on_join_request(&mut self, now: u64, joiner: NodeInfo, hops: u32) -> Vec<Effect> {
+        let State::Owner(owner) = &self.state else {
+            return Vec::new(); // not an owner: drop (bootstrap servers
+                               // hand out owner nodes as entries)
+        };
+        if !self.covers(owner, joiner.coord()) {
+            if hops >= self.config.max_hops {
+                return Vec::new();
+            }
+            return match Self::greedy_next(owner, joiner.coord()) {
+                Some(next) => vec![Effect::Send {
+                    to: next,
+                    message: Message::JoinRequest {
+                        joiner,
+                        hops: hops + 1,
+                    },
+                }],
+                None => Vec::new(),
+            };
+        }
+        match self.config.mode {
+            EngineMode::Basic => self.accept_join_by_split(now, joiner),
+            EngineMode::DualPeer => self.dual_peer_place(now, joiner),
+        }
+    }
+
+    fn on_join_directed(&mut self, now: u64, joiner: NodeInfo) -> Vec<Effect> {
+        let State::Owner(owner) = &self.state else {
+            return Vec::new();
+        };
+        if owner.role != Role::Primary {
+            return Vec::new();
+        }
+        if owner.peer.is_none() && !owner.steal_in_flight {
+            self.accept_join_as_peer(now, joiner)
+        } else if owner.peer.is_some() {
+            // Filled up since the referral: split ourselves.
+            self.split_with_peer_and_place(now, Some(joiner))
+        } else {
+            // Steal in flight: place the joiner like a fresh request so it
+            // lands on a stable owner.
+            self.dual_peer_place(now, joiner)
+        }
+    }
+
+    /// Basic-mode acceptance: split the covering region, keep the half
+    /// containing our coordinate, hand the other to the joiner.
+    fn accept_join_by_split(&mut self, now: u64, joiner: NodeInfo) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        if !crate::join::is_splittable(&owner.region) {
+            // At the extent floor: refuse; the joiner will retry through
+            // another entry (topology-level joins route around this).
+            return Vec::new();
+        }
+        let (low, high) = owner.region.split_preferred();
+        let keep_low =
+            low.contains(self.info.coord()) || self.space.region_covers(&low, self.info.coord());
+        let (kept, given) = if keep_low { (low, high) } else { (high, low) };
+        let given_store = owner.store.split_for(&kept, &given);
+        let old_neighbors = std::mem::take(&mut owner.neighbors);
+        owner.region = kept;
+        owner.last_neighbor_seen.clear();
+
+        let mut joiner_neighbors = vec![NeighborInfo {
+            primary: self.info,
+            secondary: owner.peer,
+            region: kept,
+        }];
+        let joiner_entry = NeighborInfo::new(joiner, given);
+        let mut effects = Vec::new();
+        for n in old_neighbors {
+            if n.region.touches_edge(&given) {
+                joiner_neighbors.push(n.clone());
+            }
+            // Tell every old neighbor about both new rectangles; they
+            // upsert/drop by their own touch test.
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: NeighborInfo {
+                        primary: self.info,
+                        secondary: owner.peer,
+                        region: kept,
+                    },
+                },
+            });
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: joiner_entry.clone(),
+                },
+            });
+            if n.region.touches_edge(&kept) {
+                owner.last_neighbor_seen.push((n.primary.id(), now));
+                owner.neighbors.push(n);
+            }
+        }
+        owner.last_neighbor_seen.push((joiner.id(), now));
+        owner.neighbors.push(joiner_entry);
+        effects.push(Effect::Send {
+            to: joiner.id(),
+            message: Message::JoinSplit {
+                region: given,
+                neighbors: joiner_neighbors,
+                store: given_store,
+            },
+        });
+        effects
+    }
+
+    /// Dual-peer placement probe (§2.3): among the covering region and its
+    /// neighbors, fill the half-full region with the weakest owner; if all
+    /// are full, split the one with the weakest primary.
+    fn dual_peer_place(&mut self, now: u64, joiner: NodeInfo) -> Vec<Effect> {
+        let State::Owner(owner) = &self.state else {
+            return Vec::new();
+        };
+        // Half-full candidates: (capacity of sole owner, who). A node
+        // with a steal in flight excludes itself: accepting a peer now
+        // would break the premise of the grant already under way.
+        let mut best_half: Option<(f64, Option<NodeId>)> = None; // None = me
+        if owner.peer.is_none() && !owner.steal_in_flight {
+            best_half = Some((self.info.capacity(), None));
+        }
+        for n in &owner.neighbors {
+            if n.secondary.is_none() {
+                let cap = n.primary.capacity();
+                if best_half.as_ref().is_none_or(|(c, _)| cap < *c) {
+                    best_half = Some((cap, Some(n.primary.id())));
+                }
+            }
+        }
+        if let Some((_, who)) = best_half {
+            return match who {
+                None => self.accept_join_as_peer(now, joiner),
+                Some(target) => vec![Effect::Send {
+                    to: target,
+                    message: Message::JoinDirected { joiner },
+                }],
+            };
+        }
+        // All full: split where the primary is weakest.
+        let mut victim: Option<(f64, Option<NodeId>)> = Some((self.info.capacity(), None));
+        for n in &owner.neighbors {
+            let cap = n.primary.capacity();
+            if victim.as_ref().is_none_or(|(c, _)| cap < *c) {
+                victim = Some((cap, Some(n.primary.id())));
+            }
+        }
+        match victim.expect("set above") {
+            (_, None) => self.split_with_peer_and_place(now, Some(joiner)),
+            (_, Some(target)) => vec![Effect::Send {
+                to: target,
+                message: Message::JoinDirected { joiner },
+            }],
+        }
+    }
+
+    /// Accepts `joiner` as this region's dual peer. If the joiner is
+    /// stronger, it takes the primary role (§2.3 "Node Join").
+    fn accept_join_as_peer(&mut self, now: u64, joiner: NodeInfo) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        owner.peer = Some(joiner);
+        owner.last_peer_seen = now;
+        owner.peer_confirmed = false;
+        let joiner_is_primary = joiner.capacity() > self.info.capacity();
+        if joiner_is_primary {
+            owner.role = Role::Secondary;
+        }
+        let (primary_info, secondary_info) = if joiner_is_primary {
+            (joiner, self.info)
+        } else {
+            (self.info, joiner)
+        };
+        let entry = NeighborInfo {
+            primary: primary_info,
+            secondary: Some(secondary_info),
+            region: owner.region,
+        };
+        let mut effects = vec![Effect::Send {
+            to: joiner.id(),
+            message: Message::JoinAsSecondary {
+                region: owner.region,
+                primary: primary_info,
+                store: owner.store.clone(),
+                neighbors: owner.neighbors.clone(),
+            },
+        }];
+        for n in &owner.neighbors {
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: entry.clone(),
+                },
+            });
+        }
+        effects
+    }
+
+    /// Splits a full region between its dual peers; if `joiner` is given,
+    /// it is then directed to the weaker half's owner as secondary.
+    fn split_with_peer_and_place(&mut self, now: u64, joiner: Option<NodeInfo>) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        let Some(peer) = owner.peer else {
+            return Vec::new(); // nothing to split with
+        };
+        if !crate::join::is_splittable(&owner.region) {
+            return Vec::new(); // at the extent floor: refuse
+        }
+        let (low, high) = owner.region.split_preferred();
+        let keep_low =
+            low.contains(self.info.coord()) || self.space.region_covers(&low, self.info.coord());
+        let (kept, given) = if keep_low { (low, high) } else { (high, low) };
+        let given_store = owner.store.split_for(&kept, &given);
+        let old_neighbors = std::mem::take(&mut owner.neighbors);
+        owner.region = kept;
+        owner.peer = None;
+        owner.role = Role::Primary;
+        owner.last_peer_seen = 0;
+        owner.last_neighbor_seen.clear();
+
+        let mut peer_neighbors = vec![NeighborInfo::new(self.info, kept)];
+        let peer_entry = NeighborInfo::new(peer, given);
+        let my_entry = NeighborInfo::new(self.info, kept);
+        let mut effects = Vec::new();
+        for n in old_neighbors {
+            if n.region.touches_edge(&given) {
+                peer_neighbors.push(n.clone());
+            }
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: my_entry.clone(),
+                },
+            });
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: peer_entry.clone(),
+                },
+            });
+            if n.region.touches_edge(&kept) {
+                owner.last_neighbor_seen.push((n.primary.id(), now));
+                owner.neighbors.push(n);
+            }
+        }
+        owner.last_neighbor_seen.push((peer.id(), now));
+        owner.neighbors.push(peer_entry);
+        effects.push(Effect::Send {
+            to: peer.id(),
+            message: Message::SplitTakeover {
+                region: given,
+                neighbors: peer_neighbors,
+                store: given_store,
+            },
+        });
+        if let Some(joiner) = joiner {
+            // Pair the joiner with the weaker half-owner.
+            let weaker_is_me = self.info.capacity() <= peer.capacity();
+            if weaker_is_me {
+                effects.extend(self.accept_join_as_peer(now, joiner));
+            } else {
+                effects.push(Effect::Send {
+                    to: peer.id(),
+                    message: Message::JoinDirected { joiner },
+                });
+            }
+        }
+        effects
+    }
+
+    fn on_join_split(
+        &mut self,
+        now: u64,
+        region: Region,
+        neighbors: Vec<NeighborInfo>,
+        store: RegionStore,
+    ) -> Vec<Effect> {
+        if let State::Owner(owner) = &self.state {
+            if owner.role == Role::Primary {
+                // Stale placement: we already own a region exclusively; a
+                // reordered join reply must not silently orphan it.
+                return Vec::new();
+            }
+        }
+        self.state = State::from(Owner::new(
+            region,
+            Role::Primary,
+            None,
+            neighbors,
+            store,
+            now,
+        ));
+        vec![Effect::Client(ClientEvent::Joined {
+            region,
+            role: Role::Primary,
+        })]
+    }
+
+    fn on_join_as_secondary(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        region: Region,
+        primary: NodeInfo,
+        store: RegionStore,
+        neighbors: Vec<NeighborInfo>,
+    ) -> Vec<Effect> {
+        if let State::Owner(owner) = &self.state {
+            if owner.role == Role::Primary {
+                // Stale placement: a primary must never be re-seated by a
+                // reordered join reply (its region would be orphaned). A
+                // secondary may be re-seated — its old region stays with
+                // its old primary.
+                return Vec::new();
+            }
+        }
+        // If `primary` names us, the sender handed us the primary role
+        // (we were the stronger joiner); otherwise we are the secondary.
+        let we_are_primary = primary.id() == self.info.id();
+        let peer = if we_are_primary {
+            // The sender (previous owner) is our secondary now.
+            neighbors
+                .iter()
+                .find(|n| n.primary.id() == from)
+                .map(|n| n.primary)
+        } else {
+            Some(primary)
+        };
+        let role = if we_are_primary {
+            Role::Primary
+        } else {
+            Role::Secondary
+        };
+        // Fall back to reconstructing the peer from the sender id if the
+        // neighbor list does not carry it (normal case for the
+        // stronger-joiner path: the sender built the list before the
+        // swap). The driver only needs the id for addressing.
+        let peer = peer.or(Some(NodeInfo::new(
+            from,
+            region.center(),
+            f64::MIN_POSITIVE,
+        )));
+        self.state = State::from(Owner::new(region, role, peer, neighbors, store, now));
+        vec![Effect::Client(ClientEvent::Joined { region, role })]
+    }
+
+    fn on_split_takeover(
+        &mut self,
+        now: u64,
+        region: Region,
+        neighbors: Vec<NeighborInfo>,
+        store: RegionStore,
+    ) -> Vec<Effect> {
+        let mut effects = Vec::new();
+        let entry = NeighborInfo::new(self.info, region);
+        for n in &neighbors {
+            effects.push(Effect::Send {
+                to: n.primary.id(),
+                message: Message::NeighborUpdate {
+                    info: entry.clone(),
+                },
+            });
+        }
+        self.state = State::from(Owner::new(
+            region,
+            Role::Primary,
+            None,
+            neighbors,
+            store,
+            now,
+        ));
+        effects.push(Effect::Client(ClientEvent::Joined {
+            region,
+            role: Role::Primary,
+        }));
+        effects
+    }
+
+    fn on_neighbor_update(&mut self, now: u64, info: NeighborInfo) -> Vec<Effect> {
+        if info.primary.id() == self.info.id() {
+            return Vec::new();
+        }
+        if let State::Owner(owner) = &mut self.state {
+            let region = owner.region;
+            owner.upsert_neighbor(region, info, now);
+        }
+        Vec::new()
+    }
+
+    fn on_heartbeat(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        info: NeighborInfo,
+        index: f64,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        if owner.peer.is_some_and(|p| p.id() == from) {
+            owner.last_peer_seen = now;
+            owner.peer_confirmed = true;
+            return Vec::new();
+        }
+        if info.primary.id() != self.info.id() {
+            let region = owner.region;
+            owner.upsert_neighbor(region, info, now);
+            if index.is_finite() && index >= 0.0 {
+                owner.record_neighbor_index(from, index);
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_sync_state(
+        &mut self,
+        _now: u64,
+        store: RegionStore,
+        neighbors: Vec<NeighborInfo>,
+    ) -> Vec<Effect> {
+        if let State::Owner(owner) = &mut self.state {
+            if owner.role == Role::Secondary {
+                owner.store = store;
+                owner.last_neighbor_seen =
+                    neighbors.iter().map(|n| (n.primary.id(), _now)).collect();
+                owner.neighbors = neighbors;
+            }
+        }
+        Vec::new()
+    }
+
+    fn handle_user_query(&mut self, now: u64, query: LocationQuery) -> Vec<Effect> {
+        let me = self.info.id();
+        self.next_query_id += 1;
+        let query_id = self.next_query_id;
+        self.route_or_execute_query(now, query, query_id, me, 0)
+    }
+
+    fn on_query(
+        &mut self,
+        now: u64,
+        query: LocationQuery,
+        query_id: u64,
+        reply_to: NodeId,
+        hops: u32,
+        fanout: bool,
+    ) -> Vec<Effect> {
+        if fanout {
+            // Flood delivery over the regions overlapping the query
+            // rectangle: answer locally, then re-forward to overlapping
+            // neighbors. The (issuer, query id) dedup key keeps the flood
+            // from looping; hops bound its depth.
+            let State::Owner(owner) = &mut self.state else {
+                return Vec::new();
+            };
+            if !owner.first_sight((reply_to, query_id)) {
+                return Vec::new();
+            }
+            let records: Vec<LocationRecord> = owner
+                .store
+                .query(&query, now)
+                .into_iter()
+                .cloned()
+                .collect();
+            owner.served += 1.0;
+            let mut effects = vec![Effect::Send {
+                to: reply_to,
+                message: Message::QueryReply { query_id, records },
+            }];
+            if hops < self.config.max_hops {
+                let area = query.area();
+                for n in &owner.neighbors {
+                    if n.region.intersects(&area) {
+                        effects.push(Effect::Send {
+                            to: n.primary.id(),
+                            message: Message::Query {
+                                query: query.clone(),
+                                query_id,
+                                reply_to,
+                                hops: hops + 1,
+                                fanout: true,
+                            },
+                        });
+                    }
+                }
+            }
+            return effects;
+        }
+        self.route_or_execute_query(now, query, query_id, reply_to, hops)
+    }
+
+    fn route_or_execute_query(
+        &mut self,
+        now: u64,
+        query: LocationQuery,
+        query_id: u64,
+        reply_to: NodeId,
+        hops: u32,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        let target = query.target();
+        // A secondary covering the target hands the request to its
+        // primary — the primary "handles all the requests" (§2.3).
+        if owner.role == Role::Secondary {
+            if let Some(peer) = owner.peer {
+                return vec![Effect::Send {
+                    to: peer.id(),
+                    message: Message::Query {
+                        query,
+                        query_id,
+                        reply_to,
+                        hops,
+                        fanout: false,
+                    },
+                }];
+            }
+        }
+        if !self.space.region_covers(&owner.region, target) {
+            if hops >= self.config.max_hops {
+                return Vec::new();
+            }
+            let next = owner
+                .neighbors
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.region.distance_to_point(target);
+                    let db = b.region.distance_to_point(target);
+                    da.partial_cmp(&db)
+                        .expect("finite")
+                        .then_with(|| a.primary.id().cmp(&b.primary.id()))
+                })
+                .map(|n| n.primary.id());
+            return match next {
+                Some(next) => vec![Effect::Send {
+                    to: next,
+                    message: Message::Query {
+                        query,
+                        query_id,
+                        reply_to,
+                        hops: hops + 1,
+                        fanout: false,
+                    },
+                }],
+                None => Vec::new(),
+            };
+        }
+        // Executor: answer locally and fan out to overlapping neighbors.
+        owner.first_sight((reply_to, query_id));
+        let records: Vec<LocationRecord> = owner
+            .store
+            .query(&query, now)
+            .into_iter()
+            .cloned()
+            .collect();
+        owner.served += 1.0;
+        let mut effects = Vec::new();
+        let area = query.area();
+        for n in &owner.neighbors {
+            if n.region.intersects(&area) {
+                effects.push(Effect::Send {
+                    to: n.primary.id(),
+                    message: Message::Query {
+                        query: query.clone(),
+                        query_id,
+                        reply_to,
+                        hops: hops + 1,
+                        fanout: true,
+                    },
+                });
+            }
+        }
+        if reply_to == self.info.id() {
+            effects.push(Effect::Client(ClientEvent::QueryResults {
+                query_id,
+                records,
+            }));
+        } else {
+            effects.push(Effect::Send {
+                to: reply_to,
+                message: Message::QueryReply { query_id, records },
+            });
+        }
+        effects
+    }
+
+    fn handle_user_publish(&mut self, now: u64, record: LocationRecord) -> Vec<Effect> {
+        self.on_publish(now, record, 0)
+    }
+
+    fn on_publish(&mut self, now: u64, record: LocationRecord, hops: u32) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        // Secondaries hand requests to their primary (§2.3).
+        if owner.role == Role::Secondary {
+            if let Some(peer) = owner.peer {
+                return vec![Effect::Send {
+                    to: peer.id(),
+                    message: Message::Publish { record, hops },
+                }];
+            }
+        }
+        let target = record.position();
+        if !self.space.region_covers(&owner.region, target) {
+            if hops >= self.config.max_hops {
+                return Vec::new();
+            }
+            let next = owner
+                .neighbors
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.region.distance_to_point(target);
+                    let db = b.region.distance_to_point(target);
+                    da.partial_cmp(&db)
+                        .expect("finite")
+                        .then_with(|| a.primary.id().cmp(&b.primary.id()))
+                })
+                .map(|n| n.primary.id());
+            return match next {
+                Some(next) => vec![Effect::Send {
+                    to: next,
+                    message: Message::Publish {
+                        record,
+                        hops: hops + 1,
+                    },
+                }],
+                None => Vec::new(),
+            };
+        }
+        let me = self.info.id();
+        let notified = owner.store.publish(record.clone(), now);
+        owner.served += 1.0;
+        let mut effects: Vec<Effect> = Vec::new();
+        for subscriber in notified {
+            if subscriber == me {
+                effects.push(Effect::Client(ClientEvent::Notified {
+                    record: record.clone(),
+                }));
+            } else {
+                effects.push(Effect::Send {
+                    to: subscriber,
+                    message: Message::Notify {
+                        record: record.clone(),
+                    },
+                });
+            }
+        }
+        // Replicate to the dual peer.
+        if owner.role == Role::Primary {
+            if let Some(peer) = owner.peer {
+                effects.push(Effect::Send {
+                    to: peer.id(),
+                    message: Message::SyncState {
+                        store: owner.store.clone(),
+                        neighbors: owner.neighbors.clone(),
+                    },
+                });
+            }
+        }
+        effects
+    }
+
+    fn handle_user_subscribe(&mut self, now: u64, sub: Subscription) -> Vec<Effect> {
+        self.on_subscribe(now, sub, 0, false)
+    }
+
+    fn on_subscribe(
+        &mut self,
+        now: u64,
+        sub: Subscription,
+        hops: u32,
+        fanout: bool,
+    ) -> Vec<Effect> {
+        let State::Owner(owner) = &mut self.state else {
+            return Vec::new();
+        };
+        // Secondaries hand requests to their primary (§2.3). Fan-out
+        // copies are addressed to primaries, so only the non-fanout path
+        // needs the redirect.
+        if owner.role == Role::Secondary && !fanout {
+            if let Some(peer) = owner.peer {
+                return vec![Effect::Send {
+                    to: peer.id(),
+                    message: Message::Subscribe { sub, hops, fanout },
+                }];
+            }
+        }
+        let target = sub.area().center();
+        if fanout || self.space.region_covers(&owner.region, target) {
+            // Flood the subscription over every region overlapping its
+            // area (the paper's region-2-and-3 example, generalized), with
+            // the same dedup discipline as query fan-out.
+            if !owner.first_sight((sub.subscriber(), sub.id())) {
+                return Vec::new();
+            }
+            owner.store.subscribe(sub.clone(), now);
+            let mut effects = Vec::new();
+            if hops < self.config.max_hops {
+                let area = sub.area();
+                for n in &owner.neighbors {
+                    if n.region.intersects(&area) {
+                        effects.push(Effect::Send {
+                            to: n.primary.id(),
+                            message: Message::Subscribe {
+                                sub: sub.clone(),
+                                hops: hops + 1,
+                                fanout: true,
+                            },
+                        });
+                    }
+                }
+            }
+            return effects;
+        }
+        if hops >= self.config.max_hops {
+            return Vec::new();
+        }
+        match Self::greedy_next(owner, target) {
+            Some(next) => vec![Effect::Send {
+                to: next,
+                message: Message::Subscribe {
+                    sub,
+                    hops: hops + 1,
+                    fanout: false,
+                },
+            }],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(id: u64, x: f64, y: f64, cap: f64) -> NodeInfo {
+        NodeInfo::new(NodeId::new(id), Point::new(x, y), cap)
+    }
+
+    fn engine(info: NodeInfo, mode: EngineMode) -> NodeEngine {
+        NodeEngine::new(
+            info,
+            Space::paper_evaluation(),
+            EngineConfig {
+                mode,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    fn sends(effects: &[Effect]) -> Vec<(NodeId, &Message)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                Effect::Send { to, message } => Some((*to, message)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bootstrap_owns_whole_space() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        let fx = e.handle(0, Input::BootstrapAsFirst);
+        assert!(e.is_owner());
+        let view = e.owner_view().unwrap();
+        assert_eq!(view.region, Space::paper_evaluation().bounds());
+        assert_eq!(view.role, Role::Primary);
+        assert!(matches!(fx[0], Effect::Client(ClientEvent::Joined { .. })));
+    }
+
+    #[test]
+    fn basic_join_splits_and_hands_half() {
+        let mut first = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        first.handle(0, Input::BootstrapAsFirst);
+        let joiner = node(2, 50.0, 50.0, 10.0);
+        let fx = first.handle(
+            1,
+            Input::Message {
+                from: joiner.id(),
+                message: Message::JoinRequest { joiner, hops: 0 },
+            },
+        );
+        let sent = sends(&fx);
+        let split = sent
+            .iter()
+            .find_map(|(to, m)| match m {
+                Message::JoinSplit { region, .. } if *to == joiner.id() => Some(*region),
+                _ => None,
+            })
+            .expect("join split sent");
+        // Joiner's half covers its coordinate; first keeps its own.
+        let space = Space::paper_evaluation();
+        assert!(space.region_covers(&split, joiner.coord()));
+        let view = first.owner_view().unwrap();
+        assert!(space.region_covers(&view.region, Point::new(10.0, 10.0)));
+        assert_eq!(view.neighbors.len(), 1);
+        assert_eq!(view.neighbors[0].region, split);
+    }
+
+    #[test]
+    fn joiner_installs_state_from_join_split() {
+        let mut j = engine(node(2, 50.0, 50.0, 10.0), EngineMode::Basic);
+        j.handle(
+            0,
+            Input::Join {
+                entry: NodeId::new(1),
+            },
+        );
+        let region = Region::new(0.0, 32.0, 64.0, 32.0);
+        let fx = j.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(1),
+                message: Message::JoinSplit {
+                    region,
+                    neighbors: vec![NeighborInfo::new(
+                        node(1, 10.0, 10.0, 10.0),
+                        Region::new(0.0, 0.0, 64.0, 32.0),
+                    )],
+                    store: RegionStore::new(),
+                },
+            },
+        );
+        assert!(j.is_owner());
+        assert_eq!(j.owner_view().unwrap().region, region);
+        assert!(matches!(fx[0], Effect::Client(ClientEvent::Joined { .. })));
+    }
+
+    #[test]
+    fn dual_join_fills_half_full_region() {
+        let mut first = engine(node(1, 10.0, 10.0, 10.0), EngineMode::DualPeer);
+        first.handle(0, Input::BootstrapAsFirst);
+        let joiner = node(2, 50.0, 50.0, 5.0);
+        let fx = first.handle(
+            1,
+            Input::Message {
+                from: joiner.id(),
+                message: Message::JoinRequest { joiner, hops: 0 },
+            },
+        );
+        let sent = sends(&fx);
+        assert!(sent.iter().any(|(to, m)| {
+            *to == joiner.id()
+                && matches!(m, Message::JoinAsSecondary { primary, .. } if primary.id() == NodeId::new(1))
+        }));
+        let view = first.owner_view().unwrap();
+        assert_eq!(view.role, Role::Primary);
+        assert_eq!(view.peer.unwrap().id(), joiner.id());
+    }
+
+    #[test]
+    fn stronger_dual_joiner_takes_primary() {
+        let mut first = engine(node(1, 10.0, 10.0, 10.0), EngineMode::DualPeer);
+        first.handle(0, Input::BootstrapAsFirst);
+        let joiner = node(2, 50.0, 50.0, 1000.0);
+        let fx = first.handle(
+            1,
+            Input::Message {
+                from: joiner.id(),
+                message: Message::JoinRequest { joiner, hops: 0 },
+            },
+        );
+        assert_eq!(first.owner_view().unwrap().role, Role::Secondary);
+        let sent = sends(&fx);
+        assert!(sent.iter().any(|(to, m)| {
+            *to == joiner.id()
+                && matches!(m, Message::JoinAsSecondary { primary, .. } if primary.id() == joiner.id())
+        }));
+    }
+
+    #[test]
+    fn full_region_splits_on_third_join() {
+        let mut first = engine(node(1, 10.0, 10.0, 10.0), EngineMode::DualPeer);
+        first.handle(0, Input::BootstrapAsFirst);
+        let second = node(2, 50.0, 50.0, 5.0);
+        first.handle(
+            1,
+            Input::Message {
+                from: second.id(),
+                message: Message::JoinRequest {
+                    joiner: second,
+                    hops: 0,
+                },
+            },
+        );
+        let third = node(3, 40.0, 40.0, 5.0);
+        let fx = first.handle(
+            2,
+            Input::Message {
+                from: third.id(),
+                message: Message::JoinRequest {
+                    joiner: third,
+                    hops: 0,
+                },
+            },
+        );
+        let sent = sends(&fx);
+        // The peer receives the other half.
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == second.id() && matches!(m, Message::SplitTakeover { .. })));
+        // The region shrank.
+        let view = first.owner_view().unwrap();
+        assert!(view.region.area() < Space::paper_evaluation().bounds().area());
+    }
+
+    #[test]
+    fn join_request_forwards_toward_coordinate() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        // Install as owner of the south half with a northern neighbor
+        // (placement accepted because the engine is still joining).
+        e.handle(
+            0,
+            Input::Join {
+                entry: NodeId::new(99),
+            },
+        );
+        let north = Region::new(0.0, 32.0, 64.0, 32.0);
+        let neighbor = node(9, 50.0, 50.0, 10.0);
+        e.handle(
+            1,
+            Input::Message {
+                from: neighbor.id(),
+                message: Message::JoinSplit {
+                    region: Region::new(0.0, 0.0, 64.0, 32.0),
+                    neighbors: vec![NeighborInfo::new(neighbor, north)],
+                    store: RegionStore::new(),
+                },
+            },
+        );
+        let joiner = node(3, 40.0, 60.0, 10.0); // in the north half
+        let fx = e.handle(
+            2,
+            Input::Message {
+                from: joiner.id(),
+                message: Message::JoinRequest { joiner, hops: 0 },
+            },
+        );
+        let sent = sends(&fx);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, neighbor.id());
+        assert!(matches!(sent[0].1, Message::JoinRequest { hops: 1, .. }));
+    }
+
+    #[test]
+    fn publish_stores_and_notifies_subscriber() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        e.handle(0, Input::BootstrapAsFirst);
+        let sub = Subscription::new(1, Region::new(0.0, 0.0, 20.0, 20.0), NodeId::new(42), 1_000);
+        e.handle(1, Input::UserSubscribe { sub });
+        let record = LocationRecord::new(1, "traffic", Point::new(5.0, 5.0), b"jam".to_vec());
+        let fx = e.handle(2, Input::UserPublish { record });
+        let sent = sends(&fx);
+        assert!(sent
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(42) && matches!(m, Message::Notify { .. })));
+        assert_eq!(e.owner_view().unwrap().records, 1);
+    }
+
+    #[test]
+    fn local_query_returns_results_to_client() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        e.handle(0, Input::BootstrapAsFirst);
+        let record = LocationRecord::new(1, "traffic", Point::new(5.0, 5.0), vec![]);
+        e.handle(1, Input::UserPublish { record });
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1));
+        let fx = e.handle(2, Input::UserQuery { query: q });
+        let results = fx.iter().find_map(|f| match f {
+            Effect::Client(ClientEvent::QueryResults { records, .. }) => Some(records.len()),
+            _ => None,
+        });
+        assert_eq!(results, Some(1));
+    }
+
+    #[test]
+    fn secondary_promotes_after_peer_timeout() {
+        let mut e = engine(node(2, 50.0, 50.0, 5.0), EngineMode::DualPeer);
+        // Install as secondary directly.
+        e.handle(
+            0,
+            Input::Message {
+                from: NodeId::new(1),
+                message: Message::JoinAsSecondary {
+                    region: Space::paper_evaluation().bounds(),
+                    primary: node(1, 10.0, 10.0, 10.0),
+                    store: RegionStore::new(),
+                    neighbors: Vec::new(),
+                },
+            },
+        );
+        assert_eq!(e.owner_view().unwrap().role, Role::Secondary);
+        // Heartbeats keep it secondary.
+        let fx = e.handle(100, Input::Tick);
+        assert!(sends(&fx)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(1) && matches!(m, Message::Heartbeat { .. })));
+        // Silence beyond the timeout promotes it.
+        let fx = e.handle(10_000, Input::Tick);
+        assert_eq!(e.owner_view().unwrap().role, Role::Primary);
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::Client(ClientEvent::PromotedToPrimary { .. }))));
+    }
+
+    #[test]
+    fn primary_drops_silent_secondary() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::DualPeer);
+        e.handle(0, Input::BootstrapAsFirst);
+        let joiner = node(2, 50.0, 50.0, 5.0);
+        e.handle(
+            1,
+            Input::Message {
+                from: joiner.id(),
+                message: Message::JoinRequest { joiner, hops: 0 },
+            },
+        );
+        assert!(e.owner_view().unwrap().peer.is_some());
+        let fx = e.handle(10_000, Input::Tick);
+        assert!(e.owner_view().unwrap().peer.is_none());
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::Client(ClientEvent::PeerLost { .. }))));
+    }
+
+    #[test]
+    fn neighbor_updates_upsert_and_drop_by_touch() {
+        let mut e = engine(node(1, 10.0, 10.0, 10.0), EngineMode::Basic);
+        // Install as owner of the south half via JoinSplit while joining.
+        e.handle(
+            0,
+            Input::Join {
+                entry: NodeId::new(99),
+            },
+        );
+        e.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(99),
+                message: Message::JoinSplit {
+                    region: Region::new(0.0, 0.0, 64.0, 32.0),
+                    neighbors: Vec::new(),
+                    store: RegionStore::new(),
+                },
+            },
+        );
+        // Touching entry is added.
+        let touching =
+            NeighborInfo::new(node(5, 1.0, 40.0, 10.0), Region::new(0.0, 32.0, 32.0, 32.0));
+        e.handle(
+            2,
+            Input::Message {
+                from: NodeId::new(5),
+                message: Message::NeighborUpdate { info: touching },
+            },
+        );
+        assert_eq!(e.owner_view().unwrap().neighbors.len(), 1);
+        // Non-touching replacement for the same node is dropped entirely.
+        let far = NeighborInfo::new(
+            node(5, 1.0, 60.0, 10.0),
+            Region::new(32.0, 48.0, 32.0, 16.0),
+        );
+        e.handle(
+            3,
+            Input::Message {
+                from: NodeId::new(5),
+                message: Message::NeighborUpdate { info: far },
+            },
+        );
+        assert_eq!(e.owner_view().unwrap().neighbors.len(), 0);
+    }
+
+    /// Builds a primary owning the south half with one neighbor entry.
+    fn south_owner(cap: f64, neighbor: NeighborInfo) -> NodeEngine {
+        let mut e = engine(node(1, 10.0, 10.0, cap), EngineMode::DualPeer);
+        e.handle(
+            0,
+            Input::Message {
+                from: NodeId::new(99),
+                message: Message::JoinSplit {
+                    region: Region::new(0.0, 0.0, 64.0, 32.0),
+                    neighbors: vec![neighbor],
+                    store: RegionStore::new(),
+                },
+            },
+        );
+        e
+    }
+
+    fn north_entry(primary_cap: f64, secondary_cap: Option<f64>) -> NeighborInfo {
+        NeighborInfo {
+            primary: node(7, 10.0, 50.0, primary_cap),
+            secondary: secondary_cap.map(|c| node(8, 12.0, 52.0, c)),
+            region: Region::new(0.0, 32.0, 64.0, 32.0),
+        }
+    }
+
+    fn drive_load(e: &mut NodeEngine, queries: usize, from_tick: u64) -> Vec<Effect> {
+        // Serve queries inside the south half, then tick through a stats
+        // window so the index updates and the trigger runs. Neighbor
+        // heartbeats are replayed between ticks so the entry is not
+        // dropped as silent.
+        for i in 0..queries {
+            e.handle(
+                from_tick + i as u64,
+                Input::Message {
+                    from: NodeId::new(50),
+                    message: Message::Query {
+                        query: LocationQuery::new(Region::new(5.0, 5.0, 1.0, 1.0), NodeId::new(50)),
+                        query_id: 1,
+                        reply_to: NodeId::new(50),
+                        hops: 1,
+                        fanout: false,
+                    },
+                },
+            );
+        }
+        let interval = e.config().heartbeat_interval;
+        let view = e.owner_view().expect("drive_load on an owner");
+        let neighbors = view.neighbors.clone();
+        let peer = view.peer;
+        let region = view.region;
+        let mut out = Vec::new();
+        for k in 1..=e.config().stats_window_ticks {
+            let now = from_tick + k * interval;
+            for n in &neighbors {
+                e.handle(
+                    now - 1,
+                    Input::Message {
+                        from: n.primary.id(),
+                        message: Message::Heartbeat {
+                            info: n.clone(),
+                            index: 0.0,
+                        },
+                    },
+                );
+            }
+            // Keep the dual peer alive across the synthetic time jump.
+            if let Some(peer) = peer {
+                e.handle(
+                    now - 1,
+                    Input::Message {
+                        from: peer.id(),
+                        message: Message::Heartbeat {
+                            info: NeighborInfo {
+                                primary: e.info(),
+                                secondary: Some(peer),
+                                region,
+                            },
+                            index: 0.0,
+                        },
+                    },
+                );
+            }
+            out = e.handle(now, Input::Tick);
+        }
+        out
+    }
+
+    #[test]
+    fn overloaded_primary_requests_steal() {
+        let mut e = south_owner(1.0, north_entry(10.0, Some(100.0)));
+        // Report the neighbor as idle.
+        e.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::Heartbeat {
+                    info: north_entry(10.0, Some(100.0)),
+                    index: 0.0,
+                },
+            },
+        );
+        let fx = drive_load(&mut e, 20, 2);
+        let steal = sends(&fx).iter().any(|(to, m)| {
+            *to == NodeId::new(7) && matches!(m, Message::StealSecondaryRequest { swap: false, .. })
+        });
+        assert!(steal, "no steal request in {fx:?}");
+    }
+
+    #[test]
+    fn no_steal_without_useful_secondary() {
+        // Neighbor's secondary is weaker than us: nothing to gain.
+        let mut e = south_owner(50.0, north_entry(10.0, Some(5.0)));
+        e.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::Heartbeat {
+                    info: north_entry(10.0, Some(5.0)),
+                    index: 0.0,
+                },
+            },
+        );
+        let fx = drive_load(&mut e, 20, 2);
+        assert!(
+            !sends(&fx)
+                .iter()
+                .any(|(_, m)| matches!(m, Message::StealSecondaryRequest { .. })),
+            "stole a useless secondary"
+        );
+    }
+
+    #[test]
+    fn donor_grants_and_denies_correctly() {
+        // Donor: primary (cap 10) with a secondary (cap 5) that is still
+        // stronger than the cap-1 requester.
+        let mut donor = engine(node(7, 10.0, 50.0, 10.0), EngineMode::DualPeer);
+        donor.handle(0, Input::BootstrapAsFirst);
+        let strong = node(8, 12.0, 52.0, 5.0);
+        donor.handle(
+            1,
+            Input::Message {
+                from: strong.id(),
+                message: Message::JoinRequest {
+                    joiner: strong,
+                    hops: 0,
+                },
+            },
+        );
+        assert!(donor.owner_view().unwrap().peer.is_some());
+        // The secondary confirms itself with a heartbeat (an unconfirmed
+        // peer is never granted away).
+        donor.handle(
+            2,
+            Input::Message {
+                from: strong.id(),
+                message: Message::Heartbeat {
+                    info: NeighborInfo {
+                        primary: node(7, 10.0, 50.0, 10.0),
+                        secondary: Some(strong),
+                        region: Space::paper_evaluation().bounds(),
+                    },
+                    index: 0.0,
+                },
+            },
+        );
+        // A hot, weaker requester is granted.
+        let fx = donor.handle(
+            3,
+            Input::Message {
+                from: NodeId::new(1),
+                message: Message::StealSecondaryRequest {
+                    requester: node(1, 10.0, 10.0, 1.0),
+                    index: 5.0,
+                    swap: false,
+                },
+            },
+        );
+        assert!(sends(&fx).iter().any(|(to, m)| *to == NodeId::new(1)
+            && matches!(m, Message::StealSecondaryGrant { secondary, .. } if secondary.id() == strong.id())));
+        assert!(
+            donor.owner_view().unwrap().peer.is_none(),
+            "secondary detached"
+        );
+        // A second request must be denied (no secondary left).
+        let fx = donor.handle(
+            3,
+            Input::Message {
+                from: NodeId::new(2),
+                message: Message::StealSecondaryRequest {
+                    requester: node(2, 11.0, 11.0, 1.0),
+                    index: 5.0,
+                    swap: false,
+                },
+            },
+        );
+        assert!(sends(&fx)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(2) && matches!(m, Message::StealSecondaryDeny)));
+    }
+
+    #[test]
+    fn donor_refuses_when_hotter_than_requester() {
+        let mut donor = engine(node(7, 10.0, 50.0, 10.0), EngineMode::DualPeer);
+        donor.handle(0, Input::BootstrapAsFirst);
+        let strong = node(8, 12.0, 52.0, 5.0);
+        donor.handle(
+            1,
+            Input::Message {
+                from: strong.id(),
+                message: Message::JoinRequest {
+                    joiner: strong,
+                    hops: 0,
+                },
+            },
+        );
+        // Make the donor hot.
+        drive_load(&mut donor, 50, 2);
+        let fx = donor.handle(
+            100_000,
+            Input::Message {
+                from: NodeId::new(1),
+                message: Message::StealSecondaryRequest {
+                    requester: node(1, 10.0, 10.0, 1.0),
+                    index: 0.001, // cooler than the donor
+                    swap: false,
+                },
+            },
+        );
+        assert!(sends(&fx)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::StealSecondaryDeny)));
+        assert!(
+            donor.owner_view().unwrap().peer.is_some(),
+            "kept its secondary"
+        );
+    }
+
+    #[test]
+    fn grant_hands_region_over_and_demotes_requester() {
+        let mut e = south_owner(1.0, north_entry(10.0, Some(100.0)));
+        // Pretend we asked already (set in-flight through the real path).
+        e.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::Heartbeat {
+                    info: north_entry(10.0, Some(100.0)),
+                    index: 0.0,
+                },
+            },
+        );
+        drive_load(&mut e, 20, 2);
+        let stolen = node(8, 12.0, 52.0, 100.0);
+        let fx = e.handle(
+            50_000,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::StealSecondaryGrant {
+                    secondary: stolen,
+                    donor_region: Region::new(0.0, 32.0, 64.0, 32.0),
+                    swap: false,
+                },
+            },
+        );
+        // The stolen node receives the region with us as its secondary.
+        let handed = sends(&fx).iter().any(|(to, m)| {
+            *to == stolen.id()
+                && matches!(m, Message::TakeOverRegion { new_secondary: Some(s), .. } if s.id() == NodeId::new(1))
+        });
+        assert!(handed, "no hand-off in {fx:?}");
+        let view = e.owner_view().unwrap();
+        assert_eq!(view.role, Role::Secondary);
+        assert_eq!(view.peer.unwrap().id(), stolen.id());
+        assert!(fx.iter().any(|f| matches!(
+            f,
+            Effect::Client(ClientEvent::AdaptationExecuted { mechanism: 'a' })
+        )));
+    }
+
+    #[test]
+    fn take_over_region_installs_primary_and_notifies() {
+        let mut e = engine(node(8, 12.0, 52.0, 100.0), EngineMode::DualPeer);
+        let region = Region::new(0.0, 0.0, 64.0, 32.0);
+        let neighbors = vec![north_entry(10.0, None)];
+        let fx = e.handle(
+            5,
+            Input::Message {
+                from: NodeId::new(1),
+                message: Message::TakeOverRegion {
+                    region,
+                    store: RegionStore::new(),
+                    neighbors,
+                    new_secondary: Some(node(1, 10.0, 10.0, 1.0)),
+                },
+            },
+        );
+        let view = e.owner_view().unwrap();
+        assert_eq!(view.role, Role::Primary);
+        assert_eq!(view.region, region);
+        assert_eq!(view.peer.unwrap().id(), NodeId::new(1));
+        // Neighbors get the routing update.
+        assert!(sends(&fx)
+            .iter()
+            .any(|(to, m)| *to == NodeId::new(7) && matches!(m, Message::NeighborUpdate { .. })));
+    }
+
+    #[test]
+    fn deny_clears_in_flight_so_retries_happen() {
+        let mut e = south_owner(1.0, north_entry(10.0, Some(100.0)));
+        e.handle(
+            1,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::Heartbeat {
+                    info: north_entry(10.0, Some(100.0)),
+                    index: 0.0,
+                },
+            },
+        );
+        let fx = drive_load(&mut e, 20, 2);
+        assert!(sends(&fx)
+            .iter()
+            .any(|(_, m)| matches!(m, Message::StealSecondaryRequest { .. })));
+        // Deny, keep the node hot: the next window must retry.
+        e.handle(
+            60_000,
+            Input::Message {
+                from: NodeId::new(7),
+                message: Message::StealSecondaryDeny,
+            },
+        );
+        let fx = drive_load(&mut e, 20, 70_000);
+        assert!(
+            sends(&fx)
+                .iter()
+                .any(|(_, m)| matches!(m, Message::StealSecondaryRequest { .. })),
+            "no retry after deny"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for overlay operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{NodeId, RegionId};
+
+/// Errors returned by topology and protocol operations.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::{CoreError, RegionId};
+///
+/// let err = CoreError::UnknownRegion(RegionId::new(3));
+/// assert!(err.to_string().contains("r3"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The region id does not name a live region.
+    UnknownRegion(RegionId),
+    /// The node id is not part of the topology.
+    UnknownNode(NodeId),
+    /// The point lies outside the GeoGrid space.
+    OutOfSpace {
+        /// The offending coordinate.
+        x: f64,
+        /// The offending coordinate.
+        y: f64,
+    },
+    /// The two regions cannot merge into a rectangle.
+    NotMergeable(RegionId, RegionId),
+    /// The region already has a secondary owner.
+    RegionFull(RegionId),
+    /// The region has no secondary owner to take.
+    NoSecondary(RegionId),
+    /// Routing gave up (hop budget exhausted on a degenerate topology).
+    RoutingFailed {
+        /// Hops taken before giving up.
+        hops: u32,
+    },
+    /// The topology has no regions yet (bootstrap has not happened).
+    EmptyNetwork,
+    /// An operation references a node that does not hold the required role.
+    WrongRole {
+        /// The node in question.
+        node: NodeId,
+        /// What the operation expected of it.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownRegion(r) => write!(f, "unknown region {r}"),
+            CoreError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            CoreError::OutOfSpace { x, y } => {
+                write!(f, "point ({x}, {y}) lies outside the GeoGrid space")
+            }
+            CoreError::NotMergeable(a, b) => {
+                write!(f, "regions {a} and {b} do not form a rectangle")
+            }
+            CoreError::RegionFull(r) => write!(f, "region {r} already has a dual peer"),
+            CoreError::NoSecondary(r) => write!(f, "region {r} has no secondary owner"),
+            CoreError::RoutingFailed { hops } => {
+                write!(f, "routing gave up after {hops} hops")
+            }
+            CoreError::EmptyNetwork => write!(f, "the network has no regions yet"),
+            CoreError::WrongRole { node, expected } => {
+                write!(f, "node {node} is not {expected}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_display() {
+        let errors = [
+            CoreError::UnknownRegion(RegionId::new(1)),
+            CoreError::UnknownNode(NodeId::new(2)),
+            CoreError::OutOfSpace { x: 1.0, y: -2.0 },
+            CoreError::NotMergeable(RegionId::new(1), RegionId::new(2)),
+            CoreError::RegionFull(RegionId::new(1)),
+            CoreError::NoSecondary(RegionId::new(1)),
+            CoreError::RoutingFailed { hops: 12 },
+            CoreError::EmptyNetwork,
+            CoreError::WrongRole {
+                node: NodeId::new(1),
+                expected: "a primary owner",
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(CoreError::EmptyNetwork);
+    }
+}

@@ -1,0 +1,99 @@
+//! Identifiers for nodes and regions.
+
+use std::fmt;
+
+/// Identifier of a GeoGrid node (an end-system proxy).
+///
+/// Node ids are allocated by the topology (or carried by the transport)
+/// and never reused.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::NodeId;
+///
+/// let id = NodeId::new(7);
+/// assert_eq!(id.as_u64(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Wraps a raw id.
+    pub fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw numeric id.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+/// Identifier of a region (an ownership slot in the topology).
+///
+/// Region ids are slab indices: stable across ownership changes, freed and
+/// reusable after a merge removes the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegionId(u32);
+
+impl RegionId {
+    /// Wraps a raw slab index.
+    pub fn new(raw: u32) -> Self {
+        RegionId(raw)
+    }
+
+    /// The raw slab index.
+    pub fn as_u32(self) -> u32 {
+        self.0
+    }
+
+    /// The slab index as a usize.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u32> for RegionId {
+    fn from(raw: u32) -> Self {
+        RegionId(raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_and_ordering() {
+        assert_eq!(NodeId::new(3).as_u64(), 3);
+        assert_eq!(NodeId::from(9), NodeId::new(9));
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(RegionId::new(5).index(), 5);
+        assert_eq!(RegionId::from(5), RegionId::new(5));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{}", RegionId::new(2)), "r2");
+    }
+}

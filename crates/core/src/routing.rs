@@ -1,0 +1,444 @@
+//! Greedy geographic routing.
+//!
+//! §2.2 of the paper: "routing in a GeoGrid network works by following the
+//! straight line path through the two dimensional coordinate space from
+//! source to destination node" — each region forwards to the immediate
+//! neighbor closest to the destination until the covering region is
+//! reached. Over `N` regions this costs `O(2√N)` hops.
+//!
+//! After the *executor* region (the one covering the query center) is
+//! reached, a query whose rectangle spans several regions fans out to every
+//! region overlapping the rectangle ([`fanout`]).
+
+use std::collections::HashSet;
+
+use geogrid_geometry::{Point, Region};
+
+use crate::{CoreError, RegionId, Topology};
+
+/// The result of routing a request to its executor region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutePath {
+    /// The region covering the destination point.
+    pub executor: RegionId,
+    /// Every region visited, starting with the source and ending with the
+    /// executor. `hops.len() - 1` is the hop count.
+    pub hops: Vec<RegionId>,
+}
+
+impl RoutePath {
+    /// Number of forwarding steps taken.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+}
+
+/// Picks the next hop from `current` toward `target`: the neighbor whose
+/// region is closest to the target (by closest-point distance, then center
+/// distance, then id for determinism), excluding `visited` regions.
+///
+/// Returns `None` when `current` covers the target or no unvisited
+/// neighbor exists.
+pub fn next_hop(
+    topo: &Topology,
+    current: RegionId,
+    target: Point,
+    visited: &HashSet<RegionId>,
+) -> Option<RegionId> {
+    let entry = topo.region(current)?;
+    if entry.covers(target, topo.space()) {
+        return None;
+    }
+    entry
+        .neighbors()
+        .iter()
+        .copied()
+        .filter(|n| !visited.contains(n))
+        .min_by(|&a, &b| {
+            let ra = topo.region(a).expect("live neighbor").region();
+            let rb = topo.region(b).expect("live neighbor").region();
+            let da = ra.distance_to_point(target);
+            let db = rb.distance_to_point(target);
+            da.partial_cmp(&db)
+                .expect("finite distances")
+                .then_with(|| {
+                    let ca = ra.center().distance(target);
+                    let cb = rb.center().distance(target);
+                    ca.partial_cmp(&cb).expect("finite distances")
+                })
+                .then_with(|| a.cmp(&b))
+        })
+}
+
+/// All neighbors of `current` tied (within `slack`, relative) for the
+/// best closest-point distance to `target` — the candidate set for the
+/// paper's *randomization of routing entries* (§2.2 lists it among the
+/// management messages): picking uniformly among near-optimal next hops
+/// spreads transit load over parallel paths instead of always burning the
+/// same corridor.
+pub fn next_hop_candidates(
+    topo: &Topology,
+    current: RegionId,
+    target: Point,
+    visited: &HashSet<RegionId>,
+    slack: f64,
+) -> Vec<RegionId> {
+    let Some(entry) = topo.region(current) else {
+        return Vec::new();
+    };
+    if entry.covers(target, topo.space()) {
+        return Vec::new();
+    }
+    let candidates: Vec<(RegionId, f64)> = entry
+        .neighbors()
+        .iter()
+        .copied()
+        .filter(|n| !visited.contains(n))
+        .filter_map(|n| {
+            let d = topo.region(n)?.region().distance_to_point(target);
+            Some((n, d))
+        })
+        .collect();
+    let Some(best) = candidates
+        .iter()
+        .map(|&(_, d)| d)
+        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+    else {
+        return Vec::new();
+    };
+    let cutoff = best + slack * best.max(1e-9);
+    let mut out: Vec<RegionId> = candidates
+        .into_iter()
+        .filter(|&(_, d)| d <= cutoff)
+        .map(|(n, _)| n)
+        .collect();
+    out.sort();
+    out
+}
+
+/// Like [`route`], but at each step picks uniformly at random among the
+/// near-optimal next hops (`slack`-relative tie window). Trades a few
+/// extra hops for spreading routing workload across parallel corridors.
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn route_randomized<R: rand::Rng + ?Sized>(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
+    slack: f64,
+    rng: &mut R,
+) -> Result<RoutePath, CoreError> {
+    if !topo.space().covers(target) {
+        return Err(CoreError::OutOfSpace {
+            x: target.x,
+            y: target.y,
+        });
+    }
+    if topo.region(from).is_none() {
+        return Err(CoreError::UnknownRegion(from));
+    }
+    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let mut visited = HashSet::new();
+    let mut hops = vec![from];
+    let mut current = from;
+    visited.insert(from);
+    loop {
+        let entry = topo
+            .region(current)
+            .ok_or(CoreError::UnknownRegion(current))?;
+        if entry.covers(target, topo.space()) {
+            return Ok(RoutePath {
+                executor: current,
+                hops,
+            });
+        }
+        if hops.len() > budget {
+            let executor = topo.locate_scan(target)?;
+            hops.push(executor);
+            return Ok(RoutePath { executor, hops });
+        }
+        let candidates = next_hop_candidates(topo, current, target, &visited, slack);
+        let next = if candidates.is_empty() {
+            next_hop(topo, current, target, &visited)
+        } else {
+            Some(candidates[rng.random_range(0..candidates.len())])
+        };
+        match next {
+            Some(next) => {
+                visited.insert(next);
+                hops.push(next);
+                current = next;
+            }
+            None => {
+                let executor = topo.locate_scan(target)?;
+                hops.push(executor);
+                return Ok(RoutePath { executor, hops });
+            }
+        }
+    }
+}
+
+/// Routes from `from` to the region covering `target`, greedily.
+///
+/// Greedy forwarding over a rectangular tiling makes monotone progress in
+/// almost all configurations; the corner cases (corner-contact ties) are
+/// handled by tracking visited regions. If the hop budget
+/// (`8√N + 64`) is exhausted the search falls back to the linear-scan
+/// ground truth and reports the path walked so far plus the answer.
+///
+/// # Errors
+///
+/// * [`CoreError::OutOfSpace`] if `target` lies outside the space.
+/// * [`CoreError::UnknownRegion`] if `from` is dead.
+/// * [`CoreError::EmptyNetwork`] if the network has no regions.
+pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath, CoreError> {
+    if !topo.space().covers(target) {
+        return Err(CoreError::OutOfSpace {
+            x: target.x,
+            y: target.y,
+        });
+    }
+    if topo.region(from).is_none() {
+        return Err(CoreError::UnknownRegion(from));
+    }
+    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let mut visited = HashSet::new();
+    let mut hops = vec![from];
+    let mut current = from;
+    visited.insert(from);
+    loop {
+        let entry = topo
+            .region(current)
+            .ok_or(CoreError::UnknownRegion(current))?;
+        if entry.covers(target, topo.space()) {
+            return Ok(RoutePath {
+                executor: current,
+                hops,
+            });
+        }
+        if hops.len() > budget {
+            // Degenerate topology (should not happen on a valid partition):
+            // answer via scan so callers still make progress.
+            let executor = topo.locate_scan(target)?;
+            hops.push(executor);
+            return Ok(RoutePath { executor, hops });
+        }
+        match next_hop(topo, current, target, &visited) {
+            Some(next) => {
+                visited.insert(next);
+                hops.push(next);
+                current = next;
+            }
+            None => {
+                let executor = topo.locate_scan(target)?;
+                hops.push(executor);
+                return Ok(RoutePath { executor, hops });
+            }
+        }
+    }
+}
+
+/// All regions a query rectangle must be delivered to: breadth-first flood
+/// from the executor over neighbors overlapping `query`.
+///
+/// The paper forwards from the executor to the neighbors whose regions
+/// intersect the query rectangle; the flood generalizes that to rectangles
+/// wider than one neighborhood while visiting only overlapping regions.
+/// The executor itself is always included (first).
+pub fn fanout(topo: &Topology, executor: RegionId, query: &Region) -> Vec<RegionId> {
+    let mut out = Vec::new();
+    let mut seen = HashSet::new();
+    let mut frontier = vec![executor];
+    seen.insert(executor);
+    while let Some(rid) = frontier.pop() {
+        let Some(entry) = topo.region(rid) else {
+            continue;
+        };
+        out.push(rid);
+        for &n in entry.neighbors() {
+            if seen.contains(&n) {
+                continue;
+            }
+            let overlaps = topo.region(n).is_some_and(|e| e.region().intersects(query));
+            if overlaps {
+                seen.insert(n);
+                frontier.push(n);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogrid_geometry::Space;
+
+    /// Builds a 2^k-region topology by repeated joins at grid points.
+    fn grid_topology(k: u32) -> Topology {
+        let space = Space::paper_evaluation();
+        let mut t = Topology::new(space);
+        let n0 = t.register_node(Point::new(1.0, 1.0), 10.0);
+        t.bootstrap(n0).unwrap();
+        let count = 1u32 << k;
+        let mut i = 1u32;
+        while (t.region_count() as u32) < count {
+            // Halton-ish deterministic spread.
+            let x = ((i as f64 * 0.754877666) % 1.0) * 63.0 + 0.5;
+            let y = ((i as f64 * 0.569840296) % 1.0) * 63.0 + 0.5;
+            let p = Point::new(x, y);
+            let rid = t.locate_scan(p).unwrap();
+            let primary = t.region(rid).unwrap().primary();
+            let j = t.register_node(p, 10.0);
+            t.split_region(rid, primary, j).unwrap();
+            i += 1;
+        }
+        t.validate().unwrap();
+        t
+    }
+
+    #[test]
+    fn route_reaches_covering_region() {
+        let t = grid_topology(6); // 64 regions
+        let from = t.first_region().unwrap();
+        for target in [
+            Point::new(0.5, 0.5),
+            Point::new(63.5, 63.5),
+            Point::new(32.0, 1.0),
+            Point::new(5.0, 60.0),
+        ] {
+            let path = route(&t, from, target).expect("route");
+            assert!(t.region(path.executor).unwrap().covers(target, t.space()));
+            assert_eq!(path.executor, t.locate_scan(target).unwrap());
+            assert_eq!(*path.hops.first().unwrap(), from);
+            assert_eq!(*path.hops.last().unwrap(), path.executor);
+        }
+    }
+
+    #[test]
+    fn route_to_own_region_is_zero_hops() {
+        let t = grid_topology(4);
+        let from = t.first_region().unwrap();
+        let inside = t.region(from).unwrap().region().center();
+        let path = route(&t, from, inside).unwrap();
+        assert_eq!(path.hop_count(), 0);
+        assert_eq!(path.executor, from);
+    }
+
+    #[test]
+    fn route_rejects_out_of_space() {
+        let t = grid_topology(2);
+        let from = t.first_region().unwrap();
+        assert!(matches!(
+            route(&t, from, Point::new(100.0, 0.0)),
+            Err(CoreError::OutOfSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn hop_counts_scale_like_sqrt_n() {
+        // Mean hops at 256 regions should be well below 2*sqrt(256) = 32
+        // and grow roughly as sqrt when quadrupling the network.
+        let t_small = grid_topology(6); // 64
+        let t_big = grid_topology(8); // 256
+        let mean_hops = |t: &Topology| {
+            let ids: Vec<RegionId> = t.region_ids().collect();
+            let mut total = 0usize;
+            let mut count = 0usize;
+            for (i, &from) in ids.iter().enumerate() {
+                let target = t
+                    .region(ids[(i * 7 + 3) % ids.len()])
+                    .unwrap()
+                    .region()
+                    .center();
+                total += route(t, from, target).unwrap().hop_count();
+                count += 1;
+            }
+            total as f64 / count as f64
+        };
+        let small = mean_hops(&t_small);
+        let big = mean_hops(&t_big);
+        assert!(small < 16.0, "64-region mean hops {small}");
+        assert!(big < 32.0, "256-region mean hops {big}");
+        assert!(big > small, "hops must grow with network size");
+    }
+
+    #[test]
+    fn next_hop_is_none_when_covering() {
+        let t = grid_topology(4);
+        let from = t.first_region().unwrap();
+        let inside = t.region(from).unwrap().region().center();
+        assert_eq!(next_hop(&t, from, inside, &HashSet::new()), None);
+    }
+
+    #[test]
+    fn fanout_covers_exactly_overlapping_regions() {
+        let t = grid_topology(6);
+        let query = Region::new(20.0, 20.0, 24.0, 24.0);
+        let executor = t.locate_scan(query.center()).unwrap();
+        let fan = fanout(&t, executor, &query);
+        assert_eq!(fan[0], executor);
+        let expected: HashSet<RegionId> = t
+            .regions()
+            .filter(|(_, e)| e.region().intersects(&query))
+            .map(|(rid, _)| rid)
+            .collect();
+        let got: HashSet<RegionId> = fan.iter().copied().collect();
+        assert_eq!(got, expected);
+        assert_eq!(fan.len(), got.len(), "no duplicates");
+    }
+
+    #[test]
+    fn randomized_routing_reaches_cover_and_spreads_paths() {
+        use rand::SeedableRng;
+        let t = grid_topology(6);
+        let from = t.first_region().unwrap();
+        let target = Point::new(60.0, 60.0);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut distinct_paths = std::collections::HashSet::new();
+        for _ in 0..20 {
+            let path = route_randomized(&t, from, target, 0.25, &mut rng).unwrap();
+            assert!(t.region(path.executor).unwrap().covers(target, t.space()));
+            distinct_paths.insert(path.hops.clone());
+        }
+        // Randomization should explore more than one corridor.
+        assert!(
+            distinct_paths.len() > 1,
+            "randomized routing always took the same path"
+        );
+        // And stay within the hop budget's ballpark of the greedy route.
+        let greedy = route(&t, from, target).unwrap().hop_count();
+        for p in &distinct_paths {
+            assert!(p.len() - 1 <= greedy * 3 + 8);
+        }
+    }
+
+    #[test]
+    fn candidates_are_subset_of_neighbors_and_sorted() {
+        let t = grid_topology(5);
+        let from = t.first_region().unwrap();
+        let target = Point::new(60.0, 60.0);
+        let c = next_hop_candidates(&t, from, target, &HashSet::new(), 0.5);
+        let neighbors = t.region(from).unwrap().neighbors().to_vec();
+        for rid in &c {
+            assert!(neighbors.contains(rid));
+        }
+        let mut sorted = c.clone();
+        sorted.sort();
+        assert_eq!(c, sorted);
+        // Covering region has no candidates.
+        let inside = t.region(from).unwrap().region().center();
+        assert!(next_hop_candidates(&t, from, inside, &HashSet::new(), 0.5).is_empty());
+    }
+
+    #[test]
+    fn fanout_of_tiny_query_is_executor_only() {
+        let t = grid_topology(6);
+        let executor = t.locate_scan(Point::new(10.0, 10.0)).unwrap();
+        let inner = t.region(executor).unwrap().region();
+        let tiny = Region::new(inner.center().x - 1e-6, inner.center().y - 1e-6, 2e-6, 2e-6);
+        assert_eq!(fanout(&t, executor, &tiny), vec![executor]);
+    }
+}

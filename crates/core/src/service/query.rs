@@ -1,0 +1,124 @@
+//! Location queries.
+
+use std::fmt;
+
+use geogrid_geometry::{Circle, Point, Region};
+
+use crate::NodeId;
+
+/// A location query: a rectangular spatial area, an optional topic filter,
+/// and the focal node that issued it (§2.2: "a spatial query region, a
+/// filter condition, and a focal object").
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::service::LocationQuery;
+/// use geogrid_core::NodeId;
+/// use geogrid_geometry::Region;
+///
+/// let q = LocationQuery::new(Region::new(10.0, 10.0, 4.0, 4.0), NodeId::new(1))
+///     .with_topic("traffic");
+/// assert_eq!(q.target().x, 12.0); // routing aims at the area's center
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocationQuery {
+    area: Region,
+    topic: Option<String>,
+    issuer: NodeId,
+}
+
+impl LocationQuery {
+    /// Creates a query over `area` issued by `issuer`.
+    pub fn new(area: Region, issuer: NodeId) -> Self {
+        Self {
+            area,
+            topic: None,
+            issuer,
+        }
+    }
+
+    /// A query over a circular area of radius `gamma`, represented as the
+    /// paper's `(x, y, 2γ, 2γ)` bounding rectangle.
+    pub fn circular(center: Point, gamma: f64, issuer: NodeId) -> Self {
+        Self::new(Circle::new(center, gamma).bounding_region(), issuer)
+    }
+
+    /// Restricts the query to records with this topic.
+    pub fn with_topic(mut self, topic: impl Into<String>) -> Self {
+        self.topic = Some(topic.into());
+        self
+    }
+
+    /// The spatial query region.
+    pub fn area(&self) -> Region {
+        self.area
+    }
+
+    /// The topic filter, if any.
+    pub fn topic(&self) -> Option<&str> {
+        self.topic.as_deref()
+    }
+
+    /// The node that issued the query.
+    pub fn issuer(&self) -> NodeId {
+        self.issuer
+    }
+
+    /// The routing target: the center of the query area, the point
+    /// `(x + width/2, y + height/2)` from §2.2.
+    pub fn target(&self) -> Point {
+        self.area.center()
+    }
+
+    /// Whether a record at `position` with `topic` satisfies the query.
+    /// Area containment uses closed edges: a query rectangle touching a
+    /// record's exact position should match it.
+    pub fn matches(&self, position: Point, topic: &str) -> bool {
+        self.area.contains_closed(position) && self.topic.as_deref().is_none_or(|t| t == topic)
+    }
+}
+
+impl fmt::Display for LocationQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.topic {
+            Some(t) => write!(f, "query {} [{}] by {}", self.area, t, self.issuer),
+            None => write!(f, "query {} by {}", self.area, self.issuer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circular_query_matches_paper_form() {
+        let q = LocationQuery::circular(Point::new(10.0, 10.0), 3.0, NodeId::new(1));
+        assert_eq!(q.area(), Region::new(7.0, 7.0, 6.0, 6.0));
+        assert_eq!(q.target(), Point::new(10.0, 10.0));
+    }
+
+    #[test]
+    fn topic_filter_applies() {
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1))
+            .with_topic("traffic");
+        assert!(q.matches(Point::new(5.0, 5.0), "traffic"));
+        assert!(!q.matches(Point::new(5.0, 5.0), "parking"));
+        assert!(!q.matches(Point::new(50.0, 5.0), "traffic"));
+    }
+
+    #[test]
+    fn no_topic_matches_everything_in_area() {
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1));
+        assert!(q.matches(Point::new(0.0, 0.0), "anything")); // closed edge
+        assert!(q.matches(Point::new(10.0, 10.0), "other"));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 1.0, 1.0), NodeId::new(2)).with_topic("x");
+        let s = format!("{q}");
+        assert!(s.contains("n2") && s.contains("[x]"));
+    }
+}

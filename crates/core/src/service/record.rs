@@ -1,0 +1,158 @@
+//! Location records: the information items the service disseminates.
+
+use std::fmt;
+
+use geogrid_geometry::Point;
+
+/// A published item of geographic content.
+///
+/// A record carries a topic (free-form category string, e.g. `"traffic"`
+/// or `"parking"`), the position the content is about, an opaque payload,
+/// and an optional expiry tick (location content is typically short-lived:
+/// a camera frame, a lot's occupancy).
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::service::LocationRecord;
+/// use geogrid_geometry::Point;
+///
+/// let r = LocationRecord::new(1, "traffic", Point::new(10.0, 20.0), b"jam".to_vec())
+///     .with_expiry(1_000);
+/// assert_eq!(r.topic(), "traffic");
+/// assert!(r.is_expired(2_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationRecord {
+    id: u64,
+    topic: String,
+    position: PointBits,
+    payload: Vec<u8>,
+    expires_at: Option<u64>,
+}
+
+/// Internal bit-exact point wrapper so records can derive `Eq`/`Hash`
+/// cleanly (positions are never NaN — validated on construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PointBits {
+    x: u64,
+    y: u64,
+}
+
+impl PointBits {
+    fn from_point(p: Point) -> Self {
+        Self {
+            x: p.x.to_bits(),
+            y: p.y.to_bits(),
+        }
+    }
+
+    fn to_point(self) -> Point {
+        Point::new(f64::from_bits(self.x), f64::from_bits(self.y))
+    }
+}
+
+impl LocationRecord {
+    /// Creates a record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is non-finite or the topic is empty.
+    pub fn new(id: u64, topic: impl Into<String>, position: Point, payload: Vec<u8>) -> Self {
+        let topic = topic.into();
+        assert!(position.is_finite(), "record position must be finite");
+        assert!(!topic.is_empty(), "record topic must be non-empty");
+        Self {
+            id,
+            topic,
+            position: PointBits::from_point(position),
+            payload,
+            expires_at: None,
+        }
+    }
+
+    /// Sets the expiry tick (in the caller's clock domain).
+    pub fn with_expiry(mut self, at: u64) -> Self {
+        self.expires_at = Some(at);
+        self
+    }
+
+    /// The record's id (unique per publisher).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The record's topic.
+    pub fn topic(&self) -> &str {
+        &self.topic
+    }
+
+    /// The position the record is about.
+    pub fn position(&self) -> Point {
+        self.position.to_point()
+    }
+
+    /// The opaque payload.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The expiry tick, if any.
+    pub fn expires_at(&self) -> Option<u64> {
+        self.expires_at
+    }
+
+    /// Whether the record is expired at tick `now`.
+    pub fn is_expired(&self, now: u64) -> bool {
+        self.expires_at.is_some_and(|t| t <= now)
+    }
+}
+
+impl fmt::Display for LocationRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "record #{} [{}] at {} ({} bytes)",
+            self.id,
+            self.topic,
+            self.position(),
+            self.payload.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let r = LocationRecord::new(7, "parking", Point::new(1.5, 2.5), vec![1, 2, 3]);
+        assert_eq!(r.id(), 7);
+        assert_eq!(r.topic(), "parking");
+        assert_eq!(r.position(), Point::new(1.5, 2.5));
+        assert_eq!(r.payload(), &[1, 2, 3]);
+        assert_eq!(r.expires_at(), None);
+        assert!(!r.is_expired(u64::MAX));
+    }
+
+    #[test]
+    fn expiry_is_inclusive() {
+        let r = LocationRecord::new(1, "t", Point::new(0.0, 0.0), vec![]).with_expiry(100);
+        assert!(!r.is_expired(99));
+        assert!(r.is_expired(100));
+        assert!(r.is_expired(101));
+    }
+
+    #[test]
+    #[should_panic(expected = "topic must be non-empty")]
+    fn empty_topic_rejected() {
+        LocationRecord::new(1, "", Point::new(0.0, 0.0), vec![]);
+    }
+
+    #[test]
+    fn display_mentions_topic() {
+        let r = LocationRecord::new(1, "traffic", Point::new(0.0, 0.0), vec![]);
+        assert!(format!("{r}").contains("traffic"));
+    }
+}

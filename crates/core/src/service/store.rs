@@ -1,0 +1,279 @@
+//! The per-region content store.
+
+use std::fmt;
+
+use geogrid_geometry::Region;
+
+use crate::service::{LocationQuery, LocationRecord, Subscription};
+use crate::NodeId;
+
+/// The store a region's primary owner maintains (and its secondary
+/// replicates): location records published into the region plus standing
+/// subscriptions watching areas that overlap it.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::service::{LocationQuery, LocationRecord, RegionStore};
+/// use geogrid_core::NodeId;
+/// use geogrid_geometry::{Point, Region};
+///
+/// let mut store = RegionStore::new();
+/// store.publish(LocationRecord::new(1, "traffic", Point::new(5.0, 5.0), vec![]), 0);
+/// let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1));
+/// assert_eq!(store.query(&q, 0).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RegionStore {
+    records: Vec<LocationRecord>,
+    subscriptions: Vec<Subscription>,
+}
+
+impl RegionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live records.
+    pub fn record_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of live subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.subscriptions.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty() && self.subscriptions.is_empty()
+    }
+
+    /// Publishes a record, returning the subscribers to notify (the
+    /// pub-sub delivery of the paper's motivating examples). A re-publish
+    /// with the same id replaces the old record (content refresh).
+    pub fn publish(&mut self, record: LocationRecord, now: u64) -> Vec<NodeId> {
+        self.expire(now);
+        let notified = self
+            .subscriptions
+            .iter()
+            .filter(|s| s.matches(record.position(), record.topic(), now))
+            .map(Subscription::subscriber)
+            .collect();
+        self.records.retain(|r| r.id() != record.id());
+        self.records.push(record);
+        notified
+    }
+
+    /// Answers a location query: all live records in the query area that
+    /// pass the topic filter.
+    pub fn query(&self, query: &LocationQuery, now: u64) -> Vec<&LocationRecord> {
+        self.records
+            .iter()
+            .filter(|r| !r.is_expired(now) && query.matches(r.position(), r.topic()))
+            .collect()
+    }
+
+    /// Registers a subscription. A subscription with the same
+    /// (subscriber, id) replaces the old one (renewal).
+    pub fn subscribe(&mut self, sub: Subscription, now: u64) {
+        self.expire(now);
+        self.subscriptions
+            .retain(|s| !(s.id() == sub.id() && s.subscriber() == sub.subscriber()));
+        self.subscriptions.push(sub);
+    }
+
+    /// Cancels a subscription; returns whether it existed.
+    pub fn unsubscribe(&mut self, subscriber: NodeId, id: u64) -> bool {
+        let before = self.subscriptions.len();
+        self.subscriptions
+            .retain(|s| !(s.id() == id && s.subscriber() == subscriber));
+        self.subscriptions.len() != before
+    }
+
+    /// Drops expired records and subscriptions.
+    pub fn expire(&mut self, now: u64) {
+        self.records.retain(|r| !r.is_expired(now));
+        self.subscriptions.retain(|s| !s.is_expired(now));
+    }
+
+    /// Splits the store for a region split: entries whose position/area
+    /// belongs to `other_half` move to the returned store. Subscriptions
+    /// overlapping **both** halves are duplicated into both stores so no
+    /// publication is missed.
+    pub fn split_for(&mut self, own_half: &Region, other_half: &Region) -> RegionStore {
+        let mut other = RegionStore::new();
+        let mut kept = Vec::new();
+        for r in self.records.drain(..) {
+            // Half-open containment: each position lands in exactly one half.
+            if other_half.contains(r.position()) {
+                other.records.push(r);
+            } else {
+                kept.push(r);
+            }
+        }
+        self.records = kept;
+        let mut kept_subs = Vec::new();
+        for s in self.subscriptions.drain(..) {
+            let in_other = s.area().intersects(other_half);
+            let in_own = s.area().intersects(own_half);
+            if in_other {
+                other.subscriptions.push(s.clone());
+            }
+            if in_own || !in_other {
+                kept_subs.push(s);
+            }
+        }
+        self.subscriptions = kept_subs;
+        other
+    }
+
+    /// Absorbs another store (region merge / fail-over replica
+    /// activation). Identical subscriptions collapse.
+    pub fn absorb(&mut self, other: RegionStore) {
+        for r in other.records {
+            self.records.retain(|x| x.id() != r.id());
+            self.records.push(r);
+        }
+        for s in other.subscriptions {
+            if !self
+                .subscriptions
+                .iter()
+                .any(|x| x.id() == s.id() && x.subscriber() == s.subscriber())
+            {
+                self.subscriptions.push(s);
+            }
+        }
+    }
+
+    /// Read-only view of live records (for replication).
+    pub fn records(&self) -> &[LocationRecord] {
+        &self.records
+    }
+
+    /// Read-only view of subscriptions (for replication).
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+}
+
+impl fmt::Display for RegionStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store: {} records, {} subscriptions",
+            self.records.len(),
+            self.subscriptions.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geogrid_geometry::Point;
+
+    fn record(id: u64, x: f64, y: f64, topic: &str) -> LocationRecord {
+        LocationRecord::new(id, topic, Point::new(x, y), vec![])
+    }
+
+    #[test]
+    fn publish_notifies_matching_subscribers() {
+        let mut store = RegionStore::new();
+        store.subscribe(
+            Subscription::new(1, Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(5), 1000)
+                .with_topic("traffic"),
+            0,
+        );
+        store.subscribe(
+            Subscription::new(1, Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(6), 1000),
+            0,
+        );
+        let notified = store.publish(record(1, 5.0, 5.0, "traffic"), 10);
+        assert_eq!(notified.len(), 2);
+        let notified = store.publish(record(2, 5.0, 5.0, "parking"), 10);
+        assert_eq!(notified, vec![NodeId::new(6)]);
+        let notified = store.publish(record(3, 50.0, 5.0, "traffic"), 10);
+        assert!(notified.is_empty());
+    }
+
+    #[test]
+    fn republish_replaces_by_id() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "t"), 0);
+        store.publish(record(1, 2.0, 2.0, "t"), 0);
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(store.records()[0].position(), Point::new(2.0, 2.0));
+    }
+
+    #[test]
+    fn query_filters_by_area_topic_and_expiry() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "a"), 0);
+        store.publish(record(2, 2.0, 2.0, "b").with_expiry(5), 0);
+        store.publish(record(3, 50.0, 50.0, "a"), 0);
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1));
+        assert_eq!(store.query(&q, 0).len(), 2);
+        assert_eq!(store.query(&q, 10).len(), 1); // record 2 expired
+        let qa = q.clone().with_topic("a");
+        assert_eq!(store.query(&qa, 0).len(), 1);
+    }
+
+    #[test]
+    fn expiry_sweeps_both_kinds() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "t").with_expiry(10), 0);
+        store.subscribe(
+            Subscription::new(1, Region::new(0.0, 0.0, 4.0, 4.0), NodeId::new(1), 10),
+            0,
+        );
+        store.expire(10);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_by_id() {
+        let mut store = RegionStore::new();
+        store.subscribe(
+            Subscription::new(1, Region::new(0.0, 0.0, 4.0, 4.0), NodeId::new(1), 100),
+            0,
+        );
+        assert!(store.unsubscribe(NodeId::new(1), 1));
+        assert!(!store.unsubscribe(NodeId::new(1), 1));
+        assert_eq!(store.subscription_count(), 0);
+    }
+
+    #[test]
+    fn split_partitions_records_and_duplicates_spanning_subs() {
+        let parent = Region::new(0.0, 0.0, 10.0, 10.0);
+        let (low, high) = parent.split(geogrid_geometry::SplitAxis::Latitude);
+        let mut store = RegionStore::new();
+        store.publish(record(1, 5.0, 2.0, "t"), 0); // low half
+        store.publish(record(2, 5.0, 8.0, "t"), 0); // high half
+        store.subscribe(
+            Subscription::new(1, Region::new(4.0, 4.0, 2.0, 2.0), NodeId::new(1), 100),
+            0,
+        ); // spans the cut at y=5
+        let other = store.split_for(&low, &high);
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(other.record_count(), 1);
+        assert_eq!(store.subscription_count(), 1);
+        assert_eq!(other.subscription_count(), 1);
+    }
+
+    #[test]
+    fn absorb_deduplicates() {
+        let mut a = RegionStore::new();
+        let mut b = RegionStore::new();
+        a.publish(record(1, 1.0, 1.0, "t"), 0);
+        b.publish(record(1, 2.0, 2.0, "t"), 0);
+        b.publish(record(2, 3.0, 3.0, "t"), 0);
+        let sub = Subscription::new(1, Region::new(0.0, 0.0, 4.0, 4.0), NodeId::new(1), 100);
+        a.subscribe(sub.clone(), 0);
+        b.subscribe(sub, 0);
+        a.absorb(b);
+        assert_eq!(a.record_count(), 2);
+        assert_eq!(a.subscription_count(), 1);
+    }
+}

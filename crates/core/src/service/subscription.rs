@@ -1,0 +1,123 @@
+//! Standing subscriptions over geographic areas.
+
+use std::fmt;
+
+use geogrid_geometry::{Point, Region};
+
+use crate::NodeId;
+
+/// A standing request to be notified of publications in an area until an
+/// expiry tick — the paper's "inform me of the traffic around Exit 89 in
+/// the next 30 minutes".
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_core::service::Subscription;
+/// use geogrid_core::NodeId;
+/// use geogrid_geometry::{Point, Region};
+///
+/// let sub = Subscription::new(1, Region::new(0.0, 0.0, 2.0, 2.0), NodeId::new(9), 600);
+/// assert!(sub.matches(Point::new(1.0, 1.0), "any", 100));
+/// assert!(!sub.matches(Point::new(1.0, 1.0), "any", 600)); // expired
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    id: u64,
+    area: Region,
+    topic: Option<String>,
+    subscriber: NodeId,
+    expires_at: u64,
+}
+
+impl Subscription {
+    /// Creates a subscription valid until tick `expires_at`.
+    pub fn new(id: u64, area: Region, subscriber: NodeId, expires_at: u64) -> Self {
+        Self {
+            id,
+            area,
+            topic: None,
+            subscriber,
+            expires_at,
+        }
+    }
+
+    /// Restricts the subscription to records with this topic.
+    pub fn with_topic(mut self, topic: impl Into<String>) -> Self {
+        self.topic = Some(topic.into());
+        self
+    }
+
+    /// The subscription id (unique per subscriber).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The watched area.
+    pub fn area(&self) -> Region {
+        self.area
+    }
+
+    /// The topic filter, if any.
+    pub fn topic(&self) -> Option<&str> {
+        self.topic.as_deref()
+    }
+
+    /// The node to notify.
+    pub fn subscriber(&self) -> NodeId {
+        self.subscriber
+    }
+
+    /// The expiry tick.
+    pub fn expires_at(&self) -> u64 {
+        self.expires_at
+    }
+
+    /// Whether the subscription is expired at tick `now`.
+    pub fn is_expired(&self, now: u64) -> bool {
+        self.expires_at <= now
+    }
+
+    /// Whether a publication at `position`/`topic` at tick `now` should be
+    /// delivered to this subscriber.
+    pub fn matches(&self, position: Point, topic: &str, now: u64) -> bool {
+        !self.is_expired(now)
+            && self.area.contains_closed(position)
+            && self.topic.as_deref().is_none_or(|t| t == topic)
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sub #{} of {} over {} until t={}",
+            self.id, self.subscriber, self.area, self.expires_at
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matching_requires_area_topic_and_liveness() {
+        let sub = Subscription::new(1, Region::new(0.0, 0.0, 4.0, 4.0), NodeId::new(1), 100)
+            .with_topic("traffic");
+        assert!(sub.matches(Point::new(2.0, 2.0), "traffic", 50));
+        assert!(!sub.matches(Point::new(2.0, 2.0), "parking", 50));
+        assert!(!sub.matches(Point::new(9.0, 2.0), "traffic", 50));
+        assert!(!sub.matches(Point::new(2.0, 2.0), "traffic", 100));
+    }
+
+    #[test]
+    fn accessors() {
+        let sub = Subscription::new(3, Region::new(1.0, 1.0, 2.0, 2.0), NodeId::new(7), 55);
+        assert_eq!(sub.id(), 3);
+        assert_eq!(sub.subscriber(), NodeId::new(7));
+        assert_eq!(sub.expires_at(), 55);
+        assert_eq!(sub.topic(), None);
+        assert!(!format!("{sub}").is_empty());
+    }
+}

@@ -1,0 +1,902 @@
+//! The authoritative model of a GeoGrid network.
+//!
+//! A [`Topology`] holds the complete partition of the space into regions,
+//! the owner assignment of every region (primary plus optional secondary —
+//! the paper's *dual peer*), and the neighbor graph derived from edge
+//! contact. All structural operations of the paper are methods here:
+//! region split on join, merge, secondary placement/removal, primary
+//! promotion, and the ownership swaps the adaptation mechanisms perform.
+//!
+//! The topology is the single source of truth for experiments and for the
+//! adaptation engine; the per-node protocol [`engine`](crate::engine)
+//! maintains a distributed version of the same state and is tested against
+//! this model.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use geogrid_geometry::{Point, Region, Space};
+
+use crate::{CoreError, NodeId, NodeInfo, RegionId};
+
+/// The role a node holds in the region it co-owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Handles all requests mapped to the region.
+    Primary,
+    /// Holds replicas and takes over when the primary departs or fails.
+    Secondary,
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Role::Primary => write!(f, "primary"),
+            Role::Secondary => write!(f, "secondary"),
+        }
+    }
+}
+
+/// One region slot: geometry, owners, and adjacency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionEntry {
+    region: Region,
+    primary: NodeId,
+    secondary: Option<NodeId>,
+    neighbors: Vec<RegionId>,
+}
+
+impl RegionEntry {
+    /// The rectangle this slot owns.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The primary owner.
+    pub fn primary(&self) -> NodeId {
+        self.primary
+    }
+
+    /// The secondary owner, if the region is *full* (dual peer present).
+    pub fn secondary(&self) -> Option<NodeId> {
+        self.secondary
+    }
+
+    /// Whether the region has a dual peer.
+    pub fn is_full(&self) -> bool {
+        self.secondary.is_some()
+    }
+
+    /// Ids of edge-adjacent regions.
+    pub fn neighbors(&self) -> &[RegionId] {
+        &self.neighbors
+    }
+
+    /// Containment test honoring the space-boundary adjustment (see
+    /// [`Space::region_covers`]).
+    pub fn covers(&self, p: Point, space: Space) -> bool {
+        space.region_covers(&self.region, p)
+    }
+}
+
+/// The authoritative GeoGrid network model.
+///
+/// See the [module docs](self) for an overview and the
+/// [crate docs](crate) for an end-to-end example.
+#[derive(Debug, Clone, Default)]
+pub struct Topology {
+    space: Option<Space>,
+    slots: Vec<Option<RegionEntry>>,
+    free: Vec<u32>,
+    nodes: HashMap<NodeId, NodeInfo>,
+    assignments: HashMap<NodeId, (RegionId, Role)>,
+    next_node: u64,
+    region_count: usize,
+}
+
+impl Topology {
+    /// Creates an empty topology over `space`.
+    pub fn new(space: Space) -> Self {
+        Self {
+            space: Some(space),
+            ..Self::default()
+        }
+    }
+
+    /// The space this topology partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was built with `Default` and never given a
+    /// space.
+    pub fn space(&self) -> Space {
+        self.space.expect("topology has a space")
+    }
+
+    /// Registers a node (not yet assigned to any region) and returns its
+    /// id. Capacity and coordinate semantics follow [`NodeInfo::new`].
+    pub fn register_node(&mut self, coord: Point, capacity: f64) -> NodeId {
+        let id = NodeId::new(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(id, NodeInfo::new(id, coord, capacity));
+        id
+    }
+
+    /// Bootstraps the network: the first node owns the entire space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownNode`] if `node` is not registered, or
+    /// [`CoreError::WrongRole`] if it is already assigned, or
+    /// [`CoreError::RegionFull`]-style misuse if the network already has
+    /// regions (reported as `WrongRole` on the existing assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called when the network already has regions.
+    pub fn bootstrap(&mut self, node: NodeId) -> Result<RegionId, CoreError> {
+        assert!(self.region_count == 0, "bootstrap on a non-empty network");
+        self.ensure_unassigned(node)?;
+        let rid = self.alloc_slot(RegionEntry {
+            region: self.space().bounds(),
+            primary: node,
+            secondary: None,
+            neighbors: Vec::new(),
+        });
+        self.assignments.insert(node, (rid, Role::Primary));
+        Ok(rid)
+    }
+
+    /// Number of live regions.
+    pub fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    /// Number of registered nodes (assigned or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The region slot, if alive.
+    pub fn region(&self, rid: RegionId) -> Option<&RegionEntry> {
+        self.slots.get(rid.index()).and_then(|s| s.as_ref())
+    }
+
+    /// The node descriptor, if registered.
+    pub fn node(&self, id: NodeId) -> Option<&NodeInfo> {
+        self.nodes.get(&id)
+    }
+
+    /// The region and role a node currently owns, if any.
+    pub fn assignment(&self, id: NodeId) -> Option<(RegionId, Role)> {
+        self.assignments.get(&id).copied()
+    }
+
+    /// Iterator over live region ids, ascending.
+    pub fn region_ids(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| RegionId::new(i as u32))
+    }
+
+    /// Iterator over `(RegionId, &RegionEntry)` pairs, ascending by id.
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, &RegionEntry)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (RegionId::new(i as u32), e)))
+    }
+
+    /// Iterator over all registered node descriptors (unordered).
+    pub fn nodes(&self) -> impl Iterator<Item = &NodeInfo> + '_ {
+        self.nodes.values()
+    }
+
+    /// Any live region id (the lowest), or an error on an empty network.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyNetwork`] when no region exists.
+    pub fn first_region(&self) -> Result<RegionId, CoreError> {
+        self.region_ids().next().ok_or(CoreError::EmptyNetwork)
+    }
+
+    /// The region covering `p`, by linear scan. Correct but O(regions) —
+    /// prefer [`crate::routing::route`] in protocol paths; this is the
+    /// ground truth used in tests and as a routing fallback.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfSpace`] if `p` is outside the space, or
+    /// [`CoreError::EmptyNetwork`] if there are no regions.
+    pub fn locate_scan(&self, p: Point) -> Result<RegionId, CoreError> {
+        if !self.space().covers(p) {
+            return Err(CoreError::OutOfSpace { x: p.x, y: p.y });
+        }
+        self.regions()
+            .find(|(_, e)| e.covers(p, self.space()))
+            .map(|(rid, _)| rid)
+            .ok_or(CoreError::EmptyNetwork)
+    }
+
+    /// Splits `rid` in half along its preferred axis.
+    ///
+    /// `keep` must be the current primary of `rid`; it retains the half
+    /// containing its own coordinate (or the low half if its coordinate is
+    /// not inside the region — ownership/geography association can already
+    /// be broken by earlier adaptations). `give` becomes the primary of the
+    /// other half; it must be either the current secondary of `rid` (a
+    /// dual-peer split) or an unassigned registered node (a join split).
+    ///
+    /// Returns the id of the new region (the half given away).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownRegion`] / [`CoreError::UnknownNode`] for dead
+    ///   ids.
+    /// * [`CoreError::WrongRole`] if `keep` is not the primary of `rid`, or
+    ///   `give` is neither its secondary nor unassigned.
+    pub fn split_region(
+        &mut self,
+        rid: RegionId,
+        keep: NodeId,
+        give: NodeId,
+    ) -> Result<RegionId, CoreError> {
+        let entry = self.entry(rid)?;
+        if entry.primary != keep {
+            return Err(CoreError::WrongRole {
+                node: keep,
+                expected: "the primary owner of the split region",
+            });
+        }
+        let give_is_secondary = entry.secondary == Some(give);
+        if !give_is_secondary && self.assignments.contains_key(&give) {
+            return Err(CoreError::WrongRole {
+                node: give,
+                expected: "the region's secondary or an unassigned node",
+            });
+        }
+        if !self.nodes.contains_key(&give) {
+            return Err(CoreError::UnknownNode(give));
+        }
+        let keep_coord = self
+            .nodes
+            .get(&keep)
+            .ok_or(CoreError::UnknownNode(keep))?
+            .coord();
+
+        let old_region = self.entry(rid)?.region;
+        let (low, high) = old_region.split_preferred();
+        // `keep` retains the half covering its coordinate; `contains` on
+        // the low half decides (space-edge subtleties only matter for
+        // points on the global boundary, where the low half wins anyway).
+        let (kept_half, given_half) =
+            if low.contains(keep_coord) || self.space().region_covers(&low, keep_coord) {
+                (low, high)
+            } else {
+                (high, low)
+            };
+
+        let old_neighbors = self.entry(rid)?.neighbors.clone();
+        // Rewrite the kept slot.
+        {
+            let entry = self.entry_mut(rid)?;
+            entry.region = kept_half;
+            if give_is_secondary {
+                entry.secondary = None;
+            }
+        }
+        let new_rid = self.alloc_slot(RegionEntry {
+            region: given_half,
+            primary: give,
+            secondary: None,
+            neighbors: Vec::new(),
+        });
+        self.assignments.insert(give, (new_rid, Role::Primary));
+
+        // Recompute adjacency among the two halves and the old neighbors.
+        let mut kept_list = vec![new_rid];
+        let mut new_list = vec![rid];
+        for n in old_neighbors {
+            let n_region = self.entry(n)?.region;
+            let touches_kept = n_region.touches_edge(&kept_half);
+            let touches_new = n_region.touches_edge(&given_half);
+            if touches_kept {
+                kept_list.push(n);
+            }
+            if touches_new {
+                new_list.push(n);
+            }
+            let n_entry = self.entry_mut(n)?;
+            if !touches_kept {
+                n_entry.neighbors.retain(|&x| x != rid);
+            }
+            if touches_new {
+                n_entry.neighbors.push(new_rid);
+            }
+        }
+        self.entry_mut(rid)?.neighbors = kept_list;
+        self.entry_mut(new_rid)?.neighbors = new_list;
+        Ok(new_rid)
+    }
+
+    /// Merges region `b` into region `a` (their rectangles must re-form a
+    /// rectangle). The caller names the owners of the merged region; every
+    /// current owner of `a` or `b` that is not named becomes unassigned and
+    /// is returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::NotMergeable`] if the rectangles don't merge.
+    /// * [`CoreError::WrongRole`] if `primary`/`secondary` are not among
+    ///   the current owners of `a` and `b`.
+    pub fn merge_regions(
+        &mut self,
+        a: RegionId,
+        b: RegionId,
+        primary: NodeId,
+        secondary: Option<NodeId>,
+    ) -> Result<Vec<NodeId>, CoreError> {
+        let ra = self.entry(a)?.region;
+        let rb = self.entry(b)?.region;
+        let merged = ra.merge(&rb).ok_or(CoreError::NotMergeable(a, b))?;
+
+        let mut owners = Vec::new();
+        for rid in [a, b] {
+            let e = self.entry(rid)?;
+            owners.push(e.primary);
+            owners.extend(e.secondary);
+        }
+        if !owners.contains(&primary) {
+            return Err(CoreError::WrongRole {
+                node: primary,
+                expected: "an owner of one of the merged regions",
+            });
+        }
+        if let Some(s) = secondary {
+            if !owners.contains(&s) || s == primary {
+                return Err(CoreError::WrongRole {
+                    node: s,
+                    expected: "a distinct owner of one of the merged regions",
+                });
+            }
+        }
+
+        // Union of both neighbor lists, minus the merged pair.
+        let mut neighbor_union: Vec<RegionId> = Vec::new();
+        for rid in [a, b] {
+            for n in self.entry(rid)?.neighbors.clone() {
+                if n != a && n != b && !neighbor_union.contains(&n) {
+                    neighbor_union.push(n);
+                }
+            }
+        }
+
+        // Displace all owners, then install the named ones.
+        let mut displaced = Vec::new();
+        for owner in &owners {
+            self.assignments.remove(owner);
+            if *owner != primary && secondary != Some(*owner) {
+                displaced.push(*owner);
+            }
+        }
+        {
+            let entry = self.entry_mut(a)?;
+            entry.region = merged;
+            entry.primary = primary;
+            entry.secondary = secondary;
+        }
+        self.assignments.insert(primary, (a, Role::Primary));
+        if let Some(s) = secondary {
+            self.assignments.insert(s, (a, Role::Secondary));
+        }
+        self.free_slot(b);
+
+        // Fix adjacency: every union member neighbors the merged rect.
+        for &n in &neighbor_union {
+            let entry = self.entry_mut(n)?;
+            entry.neighbors.retain(|&x| x != a && x != b);
+            entry.neighbors.push(a);
+        }
+        self.entry_mut(a)?.neighbors = neighbor_union;
+        Ok(displaced)
+    }
+
+    /// Installs `node` as the secondary owner of `rid`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::RegionFull`] if a secondary exists;
+    /// [`CoreError::WrongRole`] if `node` is already assigned elsewhere;
+    /// [`CoreError::UnknownNode`] if it is not registered.
+    pub fn set_secondary(&mut self, rid: RegionId, node: NodeId) -> Result<(), CoreError> {
+        if !self.nodes.contains_key(&node) {
+            return Err(CoreError::UnknownNode(node));
+        }
+        self.ensure_unassigned(node)?;
+        let entry = self.entry_mut(rid)?;
+        if entry.secondary.is_some() {
+            return Err(CoreError::RegionFull(rid));
+        }
+        entry.secondary = Some(node);
+        self.assignments.insert(node, (rid, Role::Secondary));
+        Ok(())
+    }
+
+    /// Removes and returns the secondary owner of `rid` (the *steal*
+    /// primitive of adaptation mechanisms (a) and (f)).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSecondary`] if the region is half-full.
+    pub fn take_secondary(&mut self, rid: RegionId) -> Result<NodeId, CoreError> {
+        let entry = self.entry_mut(rid)?;
+        let node = entry.secondary.take().ok_or(CoreError::NoSecondary(rid))?;
+        self.assignments.remove(&node);
+        Ok(node)
+    }
+
+    /// Swaps the primary owners of two regions (mechanisms (b) and (h)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::UnknownRegion`] for dead ids.
+    pub fn swap_primaries(&mut self, a: RegionId, b: RegionId) -> Result<(), CoreError> {
+        let pa = self.entry(a)?.primary;
+        let pb = self.entry(b)?.primary;
+        self.entry_mut(a)?.primary = pb;
+        self.entry_mut(b)?.primary = pa;
+        self.assignments.insert(pa, (b, Role::Primary));
+        self.assignments.insert(pb, (a, Role::Primary));
+        Ok(())
+    }
+
+    /// Swaps the primary of `a` with the secondary of `b` (mechanisms (e)
+    /// and (g)): the stronger secondary becomes primary of the overloaded
+    /// region `a`, the former primary retires to secondary of `b`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSecondary`] if `b` has no secondary.
+    pub fn switch_primary_with_secondary(
+        &mut self,
+        a: RegionId,
+        b: RegionId,
+    ) -> Result<(), CoreError> {
+        let pa = self.entry(a)?.primary;
+        let sb = self.entry(b)?.secondary.ok_or(CoreError::NoSecondary(b))?;
+        self.entry_mut(a)?.primary = sb;
+        self.entry_mut(b)?.secondary = Some(pa);
+        self.assignments.insert(sb, (a, Role::Primary));
+        self.assignments.insert(pa, (b, Role::Secondary));
+        Ok(())
+    }
+
+    /// Swaps the roles of the primary and secondary within one region
+    /// (used when a stronger node arrives as dual peer, §2.3 "Node Join").
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::NoSecondary`] if the region is half-full.
+    pub fn swap_roles(&mut self, rid: RegionId) -> Result<(), CoreError> {
+        let entry = self.entry(rid)?;
+        let p = entry.primary;
+        let s = entry.secondary.ok_or(CoreError::NoSecondary(rid))?;
+        let entry = self.entry_mut(rid)?;
+        entry.primary = s;
+        entry.secondary = Some(p);
+        self.assignments.insert(s, (rid, Role::Primary));
+        self.assignments.insert(p, (rid, Role::Secondary));
+        Ok(())
+    }
+
+    /// Removes `node` from the network entirely, fixing up its region's
+    /// ownership per §2.3 "Node Departure"/"Failure Recover":
+    ///
+    /// * secondary departs → region marked half-full;
+    /// * primary departs with a secondary present → secondary activates;
+    /// * sole owner departs → the region is left **orphaned**: its entry
+    ///   remains with the departed primary until the caller repairs it
+    ///   (see [`crate::join::repair_orphan`]); the orphaned region id is
+    ///   returned so the caller can do so.
+    ///
+    /// Returns the orphaned region id if repair is needed.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnknownNode`] if the node is not registered.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<Option<RegionId>, CoreError> {
+        if self.nodes.remove(&node).is_none() {
+            return Err(CoreError::UnknownNode(node));
+        }
+        let Some((rid, role)) = self.assignments.remove(&node) else {
+            return Ok(None); // unassigned node
+        };
+        match role {
+            Role::Secondary => {
+                self.entry_mut(rid)?.secondary = None;
+                Ok(None)
+            }
+            Role::Primary => {
+                let secondary = self.entry(rid)?.secondary;
+                match secondary {
+                    Some(s) => {
+                        let entry = self.entry_mut(rid)?;
+                        entry.primary = s;
+                        entry.secondary = None;
+                        self.assignments.insert(s, (rid, Role::Primary));
+                        Ok(None)
+                    }
+                    None => Ok(Some(rid)),
+                }
+            }
+        }
+    }
+
+    /// Reassigns an orphaned region (whose primary was removed) to `node`,
+    /// which must be unassigned. Part of the repair path.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::WrongRole`] if `node` is assigned elsewhere;
+    /// [`CoreError::UnknownNode`] if it is not registered.
+    pub fn adopt_region(&mut self, rid: RegionId, node: NodeId) -> Result<(), CoreError> {
+        if !self.nodes.contains_key(&node) {
+            return Err(CoreError::UnknownNode(node));
+        }
+        self.ensure_unassigned(node)?;
+        self.entry_mut(rid)?.primary = node;
+        self.assignments.insert(node, (rid, Role::Primary));
+        Ok(())
+    }
+
+    /// Checks every structural invariant; returns a description of the
+    /// first violation. O(regions²) — test/diagnostic use.
+    ///
+    /// Invariants: regions tile the space exactly (areas sum, pairwise
+    /// non-overlap); neighbor lists match edge contact exactly and are
+    /// symmetric; owner assignments are mutually consistent; no node owns
+    /// two slots.
+    pub fn validate(&self) -> Result<(), String> {
+        let space = self.space();
+        let mut area = 0.0;
+        let all: Vec<(RegionId, &RegionEntry)> = self.regions().collect();
+        for (rid, e) in &all {
+            area += e.region.area();
+            // Owners exist and agree with the assignment map.
+            match self.assignments.get(&e.primary) {
+                Some(&(r, Role::Primary)) if r == *rid => {}
+                other => {
+                    return Err(format!(
+                        "{rid}: primary {} has assignment {other:?}",
+                        e.primary
+                    ))
+                }
+            }
+            if !self.nodes.contains_key(&e.primary) {
+                return Err(format!("{rid}: primary {} not registered", e.primary));
+            }
+            if let Some(s) = e.secondary {
+                match self.assignments.get(&s) {
+                    Some(&(r, Role::Secondary)) if r == *rid => {}
+                    other => return Err(format!("{rid}: secondary {s} has assignment {other:?}")),
+                }
+                if s == e.primary {
+                    return Err(format!("{rid}: primary and secondary are both {s}"));
+                }
+            }
+        }
+        if (area - space.bounds().area()).abs() > 1e-6 {
+            return Err(format!(
+                "regions cover area {area}, space has {}",
+                space.bounds().area()
+            ));
+        }
+        for (i, (rid_a, a)) in all.iter().enumerate() {
+            for (rid_b, b) in all.iter().skip(i + 1) {
+                if a.region.intersects(&b.region) {
+                    return Err(format!("{rid_a} and {rid_b} overlap"));
+                }
+                let touching = a.region.touches_edge(&b.region);
+                let a_lists_b = a.neighbors.contains(rid_b);
+                let b_lists_a = b.neighbors.contains(rid_a);
+                if touching != a_lists_b || touching != b_lists_a {
+                    return Err(format!(
+                        "{rid_a}/{rid_b}: touching={touching} lists=({a_lists_b},{b_lists_a})"
+                    ));
+                }
+            }
+        }
+        for (node, (rid, role)) in &self.assignments {
+            let Some(e) = self.region(*rid) else {
+                return Err(format!("{node} assigned to dead region {rid}"));
+            };
+            let holds = match role {
+                Role::Primary => e.primary == *node,
+                Role::Secondary => e.secondary == Some(*node),
+            };
+            if !holds {
+                return Err(format!("{node} claims {role} of {rid} but slot disagrees"));
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_unassigned(&self, node: NodeId) -> Result<(), CoreError> {
+        if self.assignments.contains_key(&node) {
+            return Err(CoreError::WrongRole {
+                node,
+                expected: "an unassigned node",
+            });
+        }
+        Ok(())
+    }
+
+    fn entry(&self, rid: RegionId) -> Result<&RegionEntry, CoreError> {
+        self.region(rid).ok_or(CoreError::UnknownRegion(rid))
+    }
+
+    fn entry_mut(&mut self, rid: RegionId) -> Result<&mut RegionEntry, CoreError> {
+        self.slots
+            .get_mut(rid.index())
+            .and_then(|s| s.as_mut())
+            .ok_or(CoreError::UnknownRegion(rid))
+    }
+
+    fn alloc_slot(&mut self, entry: RegionEntry) -> RegionId {
+        self.region_count += 1;
+        if let Some(i) = self.free.pop() {
+            self.slots[i as usize] = Some(entry);
+            RegionId::new(i)
+        } else {
+            self.slots.push(Some(entry));
+            RegionId::new((self.slots.len() - 1) as u32)
+        }
+    }
+
+    fn free_slot(&mut self, rid: RegionId) {
+        if self.slots[rid.index()].take().is_some() {
+            self.region_count -= 1;
+            self.free.push(rid.as_u32());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> Space {
+        Space::paper_evaluation()
+    }
+
+    fn boot() -> (Topology, NodeId, RegionId) {
+        let mut t = Topology::new(space());
+        let n = t.register_node(Point::new(10.0, 10.0), 100.0);
+        let r = t.bootstrap(n).expect("bootstrap");
+        (t, n, r)
+    }
+
+    #[test]
+    fn bootstrap_owns_whole_space() {
+        let (t, n, r) = boot();
+        let e = t.region(r).unwrap();
+        assert_eq!(e.region(), space().bounds());
+        assert_eq!(e.primary(), n);
+        assert!(!e.is_full());
+        assert!(e.neighbors().is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn split_gives_joiner_a_half() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).expect("split");
+        assert_eq!(t.region_count(), 2);
+        // Keeper's half contains the keeper's coordinate.
+        assert!(t.region(r).unwrap().covers(Point::new(10.0, 10.0), space()));
+        assert!(t
+            .region(nr)
+            .unwrap()
+            .covers(Point::new(50.0, 50.0), space()));
+        assert_eq!(t.region(nr).unwrap().primary(), j);
+        assert_eq!(t.assignment(j), Some((nr, Role::Primary)));
+        // The two halves are mutual neighbors.
+        assert!(t.region(r).unwrap().neighbors().contains(&nr));
+        assert!(t.region(nr).unwrap().neighbors().contains(&r));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn split_requires_primary_and_free_joiner() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let stranger = t.register_node(Point::new(1.0, 1.0), 10.0);
+        assert!(matches!(
+            t.split_region(r, j, stranger),
+            Err(CoreError::WrongRole { .. })
+        ));
+        t.split_region(r, n, j).unwrap();
+        // j is now assigned; using it as `give` elsewhere must fail.
+        assert!(matches!(
+            t.split_region(r, n, j),
+            Err(CoreError::WrongRole { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_splits_keep_invariants() {
+        let (mut t, _, _) = boot();
+        // Join 63 more nodes at deterministic pseudo-random coords via scan
+        // locate (ground truth).
+        let mut x = 7.3_f64;
+        let mut y = 41.1_f64;
+        for i in 0..63 {
+            x = (x * 31.7 + i as f64).rem_euclid(64.0);
+            y = (y * 17.3 + 1.0 + i as f64).rem_euclid(64.0);
+            let p = Point::new(x.max(0.01), y.max(0.01));
+            let j = t.register_node(p, 10.0);
+            let rid = t.locate_scan(p).unwrap();
+            let primary = t.region(rid).unwrap().primary();
+            t.split_region(rid, primary, j).unwrap();
+        }
+        assert_eq!(t.region_count(), 64);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_restores_parent_and_displaces_unnamed() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        let displaced = t.merge_regions(r, nr, n, None).expect("merge");
+        assert_eq!(displaced, vec![j]);
+        assert_eq!(t.region_count(), 1);
+        assert_eq!(t.region(r).unwrap().region(), space().bounds());
+        assert_eq!(t.assignment(j), None);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_can_keep_both_as_dual_peer() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        let displaced = t.merge_regions(r, nr, j, Some(n)).expect("merge");
+        assert!(displaced.is_empty());
+        let e = t.region(r).unwrap();
+        assert_eq!(e.primary(), j);
+        assert_eq!(e.secondary(), Some(n));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_rejects_non_rectangle() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        let k = t.register_node(Point::new(60.0, 60.0), 10.0);
+        let nr2 = t.split_region(nr, j, k).unwrap();
+        // r is the south half; nr2 is a quarter — not mergeable with r.
+        assert!(matches!(
+            t.merge_regions(r, nr2, n, None),
+            Err(CoreError::NotMergeable(..))
+        ));
+    }
+
+    #[test]
+    fn secondary_lifecycle() {
+        let (mut t, _n, r) = boot();
+        let s = t.register_node(Point::new(5.0, 5.0), 50.0);
+        t.set_secondary(r, s).unwrap();
+        assert!(t.region(r).unwrap().is_full());
+        assert!(matches!(
+            t.set_secondary(r, s),
+            Err(CoreError::WrongRole { .. })
+        ));
+        let s2 = t.register_node(Point::new(6.0, 6.0), 50.0);
+        assert!(matches!(
+            t.set_secondary(r, s2),
+            Err(CoreError::RegionFull(_))
+        ));
+        let taken = t.take_secondary(r).unwrap();
+        assert_eq!(taken, s);
+        assert_eq!(t.assignment(s), None);
+        assert!(matches!(
+            t.take_secondary(r),
+            Err(CoreError::NoSecondary(_))
+        ));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn swap_primaries_updates_assignments() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        t.swap_primaries(r, nr).unwrap();
+        assert_eq!(t.region(r).unwrap().primary(), j);
+        assert_eq!(t.region(nr).unwrap().primary(), n);
+        assert_eq!(t.assignment(n), Some((nr, Role::Primary)));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn switch_primary_with_secondary_across_regions() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        let s = t.register_node(Point::new(55.0, 55.0), 1000.0);
+        t.set_secondary(nr, s).unwrap();
+        // r's primary n swaps with nr's secondary s.
+        t.switch_primary_with_secondary(r, nr).unwrap();
+        assert_eq!(t.region(r).unwrap().primary(), s);
+        assert_eq!(t.region(nr).unwrap().secondary(), Some(n));
+        assert_eq!(t.region(nr).unwrap().primary(), j);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn swap_roles_within_region() {
+        let (mut t, n, r) = boot();
+        let s = t.register_node(Point::new(5.0, 5.0), 1000.0);
+        t.set_secondary(r, s).unwrap();
+        t.swap_roles(r).unwrap();
+        let e = t.region(r).unwrap();
+        assert_eq!(e.primary(), s);
+        assert_eq!(e.secondary(), Some(n));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn departures_follow_paper_rules() {
+        let (mut t, n, r) = boot();
+        let s = t.register_node(Point::new(5.0, 5.0), 50.0);
+        t.set_secondary(r, s).unwrap();
+        // Secondary departs: region half-full, nothing else changes.
+        assert_eq!(t.remove_node(s).unwrap(), None);
+        assert!(!t.region(r).unwrap().is_full());
+        // Re-add a secondary, then the primary departs: secondary activates.
+        let s2 = t.register_node(Point::new(6.0, 6.0), 50.0);
+        t.set_secondary(r, s2).unwrap();
+        assert_eq!(t.remove_node(n).unwrap(), None);
+        assert_eq!(t.region(r).unwrap().primary(), s2);
+        assert!(!t.region(r).unwrap().is_full());
+        // Sole owner departs: orphan reported.
+        assert_eq!(t.remove_node(s2).unwrap(), Some(r));
+        t.validate().unwrap_err(); // orphan: primary not registered
+                                   // Adopt to repair.
+        let a = t.register_node(Point::new(7.0, 7.0), 10.0);
+        t.adopt_region(r, a).unwrap();
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn locate_scan_agrees_with_coverage() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        t.split_region(r, n, j).unwrap();
+        let p = Point::new(33.0, 60.0);
+        let rid = t.locate_scan(p).unwrap();
+        assert!(t.region(rid).unwrap().covers(p, space()));
+        assert!(matches!(
+            t.locate_scan(Point::new(-1.0, 0.0)),
+            Err(CoreError::OutOfSpace { .. })
+        ));
+    }
+
+    #[test]
+    fn slab_reuses_freed_slots() {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        t.merge_regions(r, nr, n, None).unwrap();
+        let k = t.register_node(Point::new(40.0, 40.0), 10.0);
+        let nr2 = t.split_region(r, n, k).unwrap();
+        assert_eq!(nr2, nr, "freed slot should be reused");
+        t.validate().unwrap();
+    }
+}

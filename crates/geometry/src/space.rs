@@ -1,0 +1,162 @@
+//! The bounded global coordinate space.
+
+use std::fmt;
+
+use crate::{Point, Region};
+
+/// The global GeoGrid plane: the geographic area of interest (a metro area,
+/// a state, a country…) that the overlay partitions among its nodes.
+///
+/// The paper's evaluation uses a 64 × 64-mile plane
+/// ([`Space::paper_evaluation`]). The space's own lower edges are treated
+/// inclusively: the half-open region containment of the paper would leave
+/// points on the global west/south boundary covered by no region, so
+/// [`Space::covers`] closes those two edges for the space as a whole and
+/// [`Space::region_covers`] extends a region's containment accordingly when
+/// the region sits on the space boundary.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_geometry::{Point, Space};
+///
+/// let space = Space::paper_evaluation();
+/// assert!(space.covers(Point::new(0.0, 0.0)));
+/// assert!(space.covers(Point::new(64.0, 64.0)));
+/// assert!(!space.covers(Point::new(-0.1, 1.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Space {
+    bounds: Region,
+}
+
+impl Space {
+    /// Creates a space covering `bounds`.
+    pub fn new(bounds: Region) -> Self {
+        Self { bounds }
+    }
+
+    /// A square space of `side × side` with south-west corner at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `side` is not strictly positive and finite.
+    pub fn square(side: f64) -> Self {
+        Self::new(Region::new(0.0, 0.0, side, side))
+    }
+
+    /// The 64 × 64-mile plane used throughout the paper's evaluation.
+    pub fn paper_evaluation() -> Self {
+        Self::square(64.0)
+    }
+
+    /// The bounding region of the whole space. The first node of a GeoGrid
+    /// network owns exactly this region.
+    pub fn bounds(&self) -> Region {
+        self.bounds
+    }
+
+    /// Whether the space covers `p` (all four edges inclusive).
+    pub fn covers(&self, p: Point) -> bool {
+        self.bounds.contains_closed(p)
+    }
+
+    /// Region containment adjusted for the space boundary: the paper's
+    /// half-open test, except that a region flush with the space's west or
+    /// south edge also owns points on that edge.
+    pub fn region_covers(&self, region: &Region, p: Point) -> bool {
+        if region.contains(p) {
+            return true;
+        }
+        if !self.covers(p) {
+            return false;
+        }
+        let on_west = p.x == self.bounds.x() && region.x() == self.bounds.x();
+        let on_south = p.y == self.bounds.y() && region.y() == self.bounds.y();
+        let x_ok = (region.x() < p.x && p.x <= region.east()) || on_west;
+        let y_ok = (region.y() < p.y && p.y <= region.north()) || on_south;
+        (on_west || on_south) && x_ok && y_ok
+    }
+
+    /// Clamps `p` into the space.
+    pub fn clamp(&self, p: Point) -> Point {
+        self.bounds.closest_point_to(p)
+    }
+
+    /// Side lengths `(width, height)` of the space.
+    pub fn extent(&self) -> (f64, f64) {
+        (self.bounds.width(), self.bounds.height())
+    }
+}
+
+impl fmt::Display for Space {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "space{}", self.bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SplitAxis;
+
+    #[test]
+    fn square_space_covers_all_corners() {
+        let s = Space::square(64.0);
+        for p in [
+            Point::new(0.0, 0.0),
+            Point::new(64.0, 0.0),
+            Point::new(0.0, 64.0),
+            Point::new(64.0, 64.0),
+        ] {
+            assert!(s.covers(p), "{p} should be covered");
+        }
+        assert!(!s.covers(Point::new(64.1, 0.0)));
+    }
+
+    #[test]
+    fn region_covers_closes_global_lower_edges() {
+        let s = Space::square(64.0);
+        let root = s.bounds();
+        // The root region covers the global south-west corner despite the
+        // half-open rule.
+        assert!(!root.contains(Point::new(0.0, 0.0)));
+        assert!(s.region_covers(&root, Point::new(0.0, 0.0)));
+        assert!(s.region_covers(&root, Point::new(0.0, 10.0)));
+        assert!(s.region_covers(&root, Point::new(10.0, 0.0)));
+    }
+
+    #[test]
+    fn region_covers_respects_interior_half_open_rule() {
+        let s = Space::square(64.0);
+        let (west, east) = s.bounds().split(SplitAxis::Longitude);
+        // Interior boundary: owned by the west half only.
+        let boundary = Point::new(32.0, 10.0);
+        assert!(s.region_covers(&west, boundary));
+        assert!(!s.region_covers(&east, boundary));
+        // Global west edge: owned by the west half (flush with space edge).
+        let west_edge = Point::new(0.0, 10.0);
+        assert!(s.region_covers(&west, west_edge));
+        assert!(!s.region_covers(&east, west_edge));
+    }
+
+    #[test]
+    fn every_space_point_covered_by_exactly_one_half() {
+        let s = Space::square(8.0);
+        let (a, b) = s.bounds().split(SplitAxis::Latitude);
+        for i in 0..=16 {
+            for j in 0..=16 {
+                let p = Point::new(i as f64 * 0.5, j as f64 * 0.5);
+                let n = s.region_covers(&a, p) as u32 + s.region_covers(&b, p) as u32;
+                assert_eq!(n, 1, "point {p} covered by {n} regions");
+            }
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_points_inside() {
+        let s = Space::square(10.0);
+        assert_eq!(s.clamp(Point::new(-5.0, 20.0)), Point::new(0.0, 10.0));
+        assert_eq!(s.clamp(Point::new(5.0, 5.0)), Point::new(5.0, 5.0));
+    }
+}

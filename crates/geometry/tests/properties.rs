@@ -1,0 +1,112 @@
+//! Property-based tests for the geometry crate's core invariants.
+
+use geogrid_geometry::{Circle, Point, Region, Space, SplitAxis};
+use proptest::prelude::*;
+
+fn arb_point(side: f64) -> impl Strategy<Value = Point> {
+    (0.0..=side, 0.0..=side).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_region(side: f64) -> impl Strategy<Value = Region> {
+    (0.0..side, 0.0..side, 0.01..side, 0.01..side).prop_map(|(x, y, w, h)| Region::new(x, y, w, h))
+}
+
+proptest! {
+    /// Splitting a region always yields two halves that tile it and merge
+    /// back into it, on both axes.
+    #[test]
+    fn split_merge_round_trip(r in arb_region(64.0), lat in any::<bool>()) {
+        let axis = if lat { SplitAxis::Latitude } else { SplitAxis::Longitude };
+        let (a, b) = r.split(axis);
+        prop_assert!((a.area() + b.area() - r.area()).abs() < 1e-9);
+        prop_assert!(a.touches_edge(&b));
+        prop_assert_eq!(a.merge(&b), Some(r));
+    }
+
+    /// Any point covered by a region is covered by exactly one of its split
+    /// halves (the paper's half-open rule makes halves disjoint).
+    #[test]
+    fn split_partitions_points(r in arb_region(64.0), p in arb_point(64.0), lat in any::<bool>()) {
+        let axis = if lat { SplitAxis::Latitude } else { SplitAxis::Longitude };
+        let (a, b) = r.split(axis);
+        let parent = r.contains(p);
+        let child_count = a.contains(p) as u32 + b.contains(p) as u32;
+        prop_assert_eq!(child_count, parent as u32);
+    }
+
+    /// The neighbor predicate is symmetric.
+    #[test]
+    fn touches_edge_is_symmetric(a in arb_region(64.0), b in arb_region(64.0)) {
+        prop_assert_eq!(a.touches_edge(&b), b.touches_edge(&a));
+    }
+
+    /// Intersection is commutative and contained in both operands.
+    #[test]
+    fn intersection_properties(a in arb_region(64.0), b in arb_region(64.0)) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab.is_some(), ba.is_some());
+        if let (Some(ab), Some(ba)) = (ab, ba) {
+            prop_assert!((ab.area() - ba.area()).abs() < 1e-9);
+            prop_assert!(ab.area() <= a.area() + 1e-9);
+            prop_assert!(ab.area() <= b.area() + 1e-9);
+        }
+    }
+
+    /// The closest point of a region to `p` is inside the region (closed)
+    /// and no farther from `p` than any sampled region point.
+    #[test]
+    fn closest_point_is_closest(r in arb_region(64.0), p in arb_point(64.0)) {
+        let c = r.closest_point_to(p);
+        prop_assert!(r.contains_closed(c));
+        prop_assert!(p.distance(c) <= p.distance(r.center()) + 1e-9);
+    }
+
+    /// Repeated preferred splits keep every space point covered by exactly
+    /// one leaf region.
+    #[test]
+    fn recursive_split_tiles_space(p in arb_point(64.0), depth in 1usize..8) {
+        let space = Space::paper_evaluation();
+        let mut leaves = vec![space.bounds()];
+        for _ in 0..depth {
+            let mut next = Vec::with_capacity(leaves.len() * 2);
+            for leaf in leaves {
+                let (a, b) = leaf.split_preferred();
+                next.push(a);
+                next.push(b);
+            }
+            leaves = next;
+        }
+        let covering = leaves.iter().filter(|r| space.region_covers(r, p)).count();
+        prop_assert_eq!(covering, 1);
+    }
+
+    /// Hot-spot decay is within [0, 1], 1 only at the center, and
+    /// monotonically non-increasing with distance.
+    #[test]
+    fn circle_decay_bounds(c_x in 0.0..64.0, c_y in 0.0..64.0, r in 0.1..10.0,
+                           p in arb_point(64.0)) {
+        let c = Circle::new(Point::new(c_x, c_y), r);
+        let w = c.linear_decay(p);
+        prop_assert!((0.0..=1.0).contains(&w));
+        // A point strictly farther from the center never has higher weight.
+        let farther = Point::new(
+            c_x + (p.x - c_x) * 2.0,
+            c_y + (p.y - c_y) * 2.0,
+        );
+        prop_assert!(c.linear_decay(farther) <= w + 1e-12);
+    }
+
+    /// A circle's bounding region contains every point of the circle.
+    #[test]
+    fn bounding_region_contains_circle(c_x in 1.0..63.0, c_y in 1.0..63.0,
+                                       r in 0.1..10.0, angle in 0.0..std::f64::consts::TAU) {
+        let c = Circle::new(Point::new(c_x, c_y), r);
+        let inside = Point::new(
+            c_x + 0.99 * r * angle.cos(),
+            c_y + 0.99 * r * angle.sin(),
+        );
+        prop_assert!(c.contains(inside));
+        prop_assert!(c.bounding_region().contains_closed(inside));
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-bin histograms for distribution figures.
+
+use std::fmt;
+
+/// A histogram with uniformly sized bins over a closed range.
+///
+/// Figures 2 and 3 of the paper visualize region-size and load
+/// distributions; the experiment harness reduces those to histograms that
+/// can be printed or dumped to CSV.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_metrics::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(1.0);
+/// h.record(9.5);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.bin_counts()[0], 1);
+/// assert_eq!(h.bin_counts()[4], 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[lo, hi]` with `bins` uniform bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0`, either bound is non-finite, or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(hi > lo, "hi ({hi}) must exceed lo ({lo})");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one sample. Samples outside the range land in the
+    /// underflow/overflow counters; non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if value < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if value > self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((value - self.lo) / width) as usize;
+        let idx = idx.min(self.bins.len() - 1); // value == hi maps to last bin
+        self.bins[idx] += 1;
+    }
+
+    /// Total in-range samples recorded.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Samples below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Samples above the range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bin counts, lowest bin first.
+    pub fn bin_counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Inclusive lower bound of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * i as f64
+    }
+
+    /// Exclusive upper bound of bin `i` (inclusive for the last bin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        assert!(i < self.bins.len(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i + 1) as f64
+    }
+
+    /// Iterator over `(bin_lo, bin_hi, count)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bin_hi(i), self.bins[i]))
+    }
+
+    /// Fraction of in-range mass at or below the upper edge of each bin.
+    pub fn cdf(&self) -> Vec<f64> {
+        let total = self.count().max(1) as f64;
+        let mut acc = 0u64;
+        self.bins
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc as f64 / total
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        for (lo, hi, c) in self.iter() {
+            let bar = "#".repeat((c * 40 / peak) as usize);
+            writeln!(f, "[{lo:>10.3}, {hi:>10.3}) {c:>8} {bar}")?;
+        }
+        if self.underflow > 0 || self.overflow > 0 {
+            writeln!(f, "underflow={} overflow={}", self.underflow, self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_correct_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert!(h.bin_counts().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn boundary_value_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(10.0);
+        assert_eq!(h.bin_counts()[9], 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_counted_separately() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.1);
+        h.record(1.1);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        for v in [0.5, 1.5, 2.5, 3.5] {
+            h.record(v);
+        }
+        let cdf = h.cdf();
+        assert!((cdf[3] - 1.0).abs() < 1e-12);
+        assert!((cdf[0] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn display_has_rows() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(0.2);
+        assert_eq!(format!("{h}").lines().count(), 4);
+    }
+}

@@ -1,0 +1,37 @@
+//! Measurement substrate for the GeoGrid reproduction.
+//!
+//! The GeoGrid paper evaluates its load-balance machinery through summary
+//! statistics of the per-node *workload index*: maximum, mean, and standard
+//! deviation across all nodes (Figures 5–10). This crate provides those
+//! statistics plus the supporting machinery the experiment harness needs:
+//!
+//! * [`Summary`] — one-pass max/mean/std-dev/percentile summaries,
+//! * [`RunningStats`] — Welford online accumulation,
+//! * [`Histogram`] — fixed-bin histograms used for the region-size and load
+//!   distribution figures (Figures 2 and 3),
+//! * [`gini`] / [`max_mean_ratio`] — imbalance measures,
+//! * [`table`] — small CSV/console table writer shared by every experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use geogrid_metrics::Summary;
+//!
+//! let s = Summary::from_values([1.0, 2.0, 3.0, 4.0]);
+//! assert_eq!(s.max(), 4.0);
+//! assert!((s.mean() - 2.5).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod histogram;
+mod imbalance;
+mod running;
+mod summary;
+pub mod table;
+
+pub use histogram::Histogram;
+pub use imbalance::{gini, max_mean_ratio};
+pub use running::RunningStats;
+pub use summary::Summary;

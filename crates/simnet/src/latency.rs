@@ -1,0 +1,103 @@
+//! Message latency models.
+
+use rand::Rng;
+
+use crate::SimTime;
+
+/// How long a message takes from sender to receiver.
+///
+/// GeoGrid's geographic mapping means overlay neighbors are physically
+/// close, so a constant or lightly jittered latency is the realistic
+/// default; the uniform model stresses reordering tolerance in tests.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_simnet::{LatencyModel, SimTime};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let d = LatencyModel::constant_millis(5).sample(&mut rng);
+/// assert_eq!(d, SimTime::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimTime),
+    /// Latency uniform in `[min, max]`.
+    Uniform {
+        /// Minimum one-way latency.
+        min: SimTime,
+        /// Maximum one-way latency.
+        max: SimTime,
+    },
+}
+
+impl LatencyModel {
+    /// Constant latency of `ms` milliseconds.
+    pub fn constant_millis(ms: u64) -> Self {
+        LatencyModel::Constant(SimTime::from_millis(ms))
+    }
+
+    /// Uniform latency between `min_ms` and `max_ms` milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_ms > max_ms`.
+    pub fn uniform_millis(min_ms: u64, max_ms: u64) -> Self {
+        assert!(min_ms <= max_ms, "min must not exceed max");
+        LatencyModel::Uniform {
+            min: SimTime::from_millis(min_ms),
+            max: SimTime::from_millis(max_ms),
+        }
+    }
+
+    /// Draws one latency value.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                SimTime::from_micros(rng.random_range(min.as_micros()..=max.as_micros()))
+            }
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    /// 5 ms constant — a sensible metro-area one-way latency.
+    fn default() -> Self {
+        LatencyModel::constant_millis(5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_constant() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let m = LatencyModel::constant_millis(7);
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimTime::from_millis(7));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let m = LatencyModel::uniform_millis(2, 9);
+        for _ in 0..200 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimTime::from_millis(2) && d <= SimTime::from_millis(9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min must not exceed max")]
+    fn uniform_validates_bounds() {
+        LatencyModel::uniform_millis(5, 1);
+    }
+}

@@ -1,0 +1,584 @@
+//! The simulation engine: processes, events, and the run loop.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{LatencyModel, SimStats, SimTime};
+
+/// Address of a process inside a simulation.
+///
+/// Addresses are allocated sequentially by [`Simulation::add_process`] and
+/// are never reused, so a crashed node's address stays dangling — exactly
+/// like a departed peer's endpoint in a real overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// The raw numeric address (stable within one simulation).
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs an address from its raw value.
+    ///
+    /// Useful for drivers that keep an external id space numerically
+    /// aligned with simulator addresses. Sending to an address that was
+    /// never allocated is safe: the message counts as undeliverable.
+    pub fn from_raw(raw: u64) -> Addr {
+        Addr(raw)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A simulated process (an overlay node).
+///
+/// Handlers receive a [`Context`] for sending messages, arming timers, and
+/// reading the clock. All effects requested through the context are applied
+/// by the simulator after the handler returns, keeping handlers pure with
+/// respect to the event queue.
+pub trait Process {
+    /// The message type exchanged between processes.
+    type Msg;
+
+    /// Called once when the process is added to the simulation.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called for every delivered message.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Addr, msg: Self::Msg);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, timer: u64) {
+        let _ = (ctx, timer);
+    }
+}
+
+/// Simulation-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// One-way message latency model.
+    pub latency: LatencyModel,
+    /// Independent probability that any message is silently dropped.
+    pub loss_probability: f64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            latency: LatencyModel::default(),
+            loss_probability: 0.0,
+        }
+    }
+}
+
+/// Handle through which a process interacts with the simulation during a
+/// handler invocation.
+pub struct Context<'a, M> {
+    now: SimTime,
+    addr: Addr,
+    rng: &'a mut SmallRng,
+    actions: &'a mut Vec<Action<M>>,
+}
+
+enum Action<M> {
+    Send { to: Addr, msg: M },
+    Timer { delay: SimTime, id: u64 },
+    Stop,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This process's own address.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Sends `msg` to `to` (subject to the latency and loss models).
+    pub fn send(&mut self, to: Addr, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arms a timer that fires after `delay` with the given id.
+    pub fn set_timer(&mut self, delay: SimTime, id: u64) {
+        self.actions.push(Action::Timer { delay, id });
+    }
+
+    /// Removes this process from the simulation after the handler returns
+    /// (a graceful departure; pending messages to it become undeliverable).
+    pub fn stop(&mut self) {
+        self.actions.push(Action::Stop);
+    }
+
+    /// Deterministic randomness shared with the simulation.
+    pub fn rng(&mut self) -> &mut impl Rng {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { from: Addr, to: Addr, msg: M },
+    Timer { to: Addr, id: u64 },
+    Start { to: Addr },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation over a set of processes.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct Simulation<P: Process> {
+    config: SimConfig,
+    now: SimTime,
+    seq: u64,
+    next_addr: u64,
+    queue: BinaryHeap<Reverse<Event<P::Msg>>>,
+    processes: HashMap<Addr, P>,
+    rng: SmallRng,
+    stats: SimStats,
+    scratch: Vec<Action<P::Msg>>,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Creates an empty simulation with the given config and RNG seed.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&config.loss_probability),
+            "loss probability must be in [0, 1), got {}",
+            config.loss_probability
+        );
+        Self {
+            config,
+            now: SimTime::ZERO,
+            seq: 0,
+            next_addr: 0,
+            queue: BinaryHeap::new(),
+            processes: HashMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: SimStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Adds a process; its `on_start` runs at the current simulated time
+    /// (once the run loop reaches it).
+    pub fn add_process(&mut self, process: P) -> Addr {
+        let addr = Addr(self.next_addr);
+        self.next_addr += 1;
+        self.processes.insert(addr, process);
+        self.push_event(self.now, EventKind::Start { to: addr });
+        addr
+    }
+
+    /// Injects a message from outside the simulation (e.g. a mobile user
+    /// contacting its proxy). Latency and loss apply as usual.
+    pub fn post(&mut self, from: Addr, to: Addr, msg: P::Msg) {
+        self.enqueue_send(from, to, msg);
+    }
+
+    /// Crashes a process immediately: it is removed without any handler
+    /// running, and in-flight messages to it count as undeliverable.
+    ///
+    /// Returns the process state if it was alive.
+    pub fn crash(&mut self, addr: Addr) -> Option<P> {
+        self.processes.remove(&addr)
+    }
+
+    /// Whether `addr` is currently alive.
+    pub fn is_alive(&self, addr: Addr) -> bool {
+        self.processes.contains_key(&addr)
+    }
+
+    /// Read access to a process's state.
+    pub fn process(&self, addr: Addr) -> Option<&P> {
+        self.processes.get(&addr)
+    }
+
+    /// Mutable access to a process's state (for test instrumentation).
+    pub fn process_mut(&mut self, addr: Addr) -> Option<&mut P> {
+        self.processes.get_mut(&addr)
+    }
+
+    /// Addresses of all live processes (unordered).
+    pub fn addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.processes.keys().copied()
+    }
+
+    /// Number of live processes.
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether no processes are alive.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Processes a single event. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.now, "time must not move backwards");
+        self.now = event.at;
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if self.processes.contains_key(&to) {
+                    self.stats.delivered += 1;
+                    self.dispatch(to, |p, ctx| p.on_message(ctx, from, msg));
+                } else {
+                    self.stats.undeliverable += 1;
+                }
+            }
+            EventKind::Timer { to, id } => {
+                if self.processes.contains_key(&to) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(to, |p, ctx| p.on_timer(ctx, id));
+                }
+            }
+            EventKind::Start { to } => {
+                if self.processes.contains_key(&to) {
+                    self.dispatch(to, |p, ctx| p.on_start(ctx));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the queue drains or `max_events` have been processed.
+    /// Returns the number of events processed.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until simulated time would pass `deadline` (events at exactly
+    /// `deadline` are processed) or `max_events` have been processed.
+    /// Returns the number of events processed.
+    pub fn run_until(&mut self, deadline: SimTime, max_events: u64) -> u64 {
+        let mut n = 0;
+        while n < max_events {
+            match self.queue.peek() {
+                Some(Reverse(e)) if e.at <= deadline => {
+                    self.step();
+                    n += 1;
+                }
+                _ => break,
+            }
+        }
+        self.now = self
+            .now
+            .max(deadline.min(self.queue.peek().map(|Reverse(e)| e.at).unwrap_or(deadline)));
+        n
+    }
+
+    fn dispatch<F>(&mut self, addr: Addr, f: F)
+    where
+        F: FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    {
+        let mut process = self.processes.remove(&addr).expect("checked alive");
+        let mut actions = std::mem::take(&mut self.scratch);
+        let mut ctx = Context {
+            now: self.now,
+            addr,
+            rng: &mut self.rng,
+            actions: &mut actions,
+        };
+        f(&mut process, &mut ctx);
+        let mut stopped = false;
+        for action in actions.drain(..) {
+            match action {
+                Action::Send { to, msg } => self.enqueue_send(addr, to, msg),
+                Action::Timer { delay, id } => {
+                    self.push_event(self.now + delay, EventKind::Timer { to: addr, id });
+                }
+                Action::Stop => stopped = true,
+            }
+        }
+        self.scratch = actions;
+        if !stopped {
+            self.processes.insert(addr, process);
+        }
+    }
+
+    fn enqueue_send(&mut self, from: Addr, to: Addr, msg: P::Msg) {
+        self.stats.sent += 1;
+        if self.config.loss_probability > 0.0
+            && self.rng.random::<f64>() < self.config.loss_probability
+        {
+            self.stats.lost += 1;
+            return;
+        }
+        let latency = self.config.latency.sample(&mut self.rng);
+        self.push_event(self.now + latency, EventKind::Deliver { from, to, msg });
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind<P::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+}
+
+impl<P: Process> fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("processes", &self.processes.len())
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages and echoes pings.
+    struct Echo {
+        received: u32,
+    }
+
+    impl Process for Echo {
+        type Msg = &'static str;
+
+        fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: Addr, msg: Self::Msg) {
+            self.received += 1;
+            if msg == "ping" {
+                ctx.send(from, "pong");
+            }
+        }
+    }
+
+    fn two_echoes(config: SimConfig) -> (Simulation<Echo>, Addr, Addr) {
+        let mut sim = Simulation::new(config, 7);
+        let a = sim.add_process(Echo { received: 0 });
+        let b = sim.add_process(Echo { received: 0 });
+        (sim, a, b)
+    }
+
+    #[test]
+    fn ping_pong_delivers_both_ways() {
+        let (mut sim, a, b) = two_echoes(SimConfig::default());
+        sim.post(a, b, "ping");
+        sim.run_until_quiescent(100);
+        assert_eq!(sim.process(b).unwrap().received, 1);
+        assert_eq!(sim.process(a).unwrap().received, 1);
+        assert_eq!(sim.stats().delivered, 2);
+        // Two latency hops of 5ms each.
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn crash_makes_messages_undeliverable() {
+        let (mut sim, a, b) = two_echoes(SimConfig::default());
+        sim.crash(b);
+        sim.post(a, b, "ping");
+        sim.run_until_quiescent(100);
+        assert_eq!(sim.stats().undeliverable, 1);
+        assert_eq!(sim.stats().delivered, 0);
+        assert!(!sim.is_alive(b));
+        assert!(sim.is_alive(a));
+    }
+
+    #[test]
+    fn loss_model_drops_messages() {
+        let config = SimConfig {
+            loss_probability: 0.999999,
+            ..SimConfig::default()
+        };
+        let (mut sim, a, b) = two_echoes(config);
+        for _ in 0..50 {
+            sim.post(a, b, "ping");
+        }
+        sim.run_until_quiescent(1000);
+        assert!(sim.stats().lost >= 45, "lost {}", sim.stats().lost);
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed: u64| {
+            let config = SimConfig {
+                latency: LatencyModel::uniform_millis(1, 10),
+                loss_probability: 0.1,
+            };
+            let mut sim = Simulation::new(config, seed);
+            let a = sim.add_process(Echo { received: 0 });
+            let b = sim.add_process(Echo { received: 0 });
+            for _ in 0..100 {
+                sim.post(a, b, "ping");
+            }
+            sim.run_until_quiescent(10_000);
+            (sim.stats(), sim.now())
+        };
+        assert_eq!(run(11), run(11));
+        // Different seeds should produce a different trajectory in at
+        // least one observable (loss count or final clock).
+        assert_ne!(run(11), run(12));
+    }
+
+    /// A process that reschedules itself a fixed number of times.
+    struct Ticker {
+        remaining: u32,
+        fired_at: Vec<SimTime>,
+    }
+
+    impl Process for Ticker {
+        type Msg = ();
+
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            ctx.set_timer(SimTime::from_millis(10), 1);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: Addr, _msg: ()) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_, ()>, timer: u64) {
+            assert_eq!(timer, 1);
+            self.fired_at.push(ctx.now());
+            self.remaining -= 1;
+            if self.remaining > 0 {
+                ctx.set_timer(SimTime::from_millis(10), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_schedule() {
+        let mut sim = Simulation::new(SimConfig::default(), 1);
+        let t = sim.add_process(Ticker {
+            remaining: 3,
+            fired_at: Vec::new(),
+        });
+        sim.run_until_quiescent(100);
+        let fired = &sim.process(t).unwrap().fired_at;
+        assert_eq!(
+            *fired,
+            vec![
+                SimTime::from_millis(10),
+                SimTime::from_millis(20),
+                SimTime::from_millis(30)
+            ]
+        );
+        assert_eq!(sim.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = Simulation::new(SimConfig::default(), 1);
+        sim.add_process(Ticker {
+            remaining: 10,
+            fired_at: Vec::new(),
+        });
+        sim.run_until(SimTime::from_millis(35), 1000);
+        assert_eq!(sim.stats().timers_fired, 3); // 10, 20, 30ms fired; 40ms pending
+        assert!(sim.now() <= SimTime::from_millis(40));
+    }
+
+    /// A process that stops itself upon any message.
+    struct Quitter;
+
+    impl Process for Quitter {
+        type Msg = ();
+
+        fn on_message(&mut self, ctx: &mut Context<'_, ()>, _from: Addr, _msg: ()) {
+            ctx.stop();
+        }
+    }
+
+    #[test]
+    fn stop_removes_process() {
+        let mut sim = Simulation::new(SimConfig::default(), 1);
+        let a = sim.add_process(Quitter);
+        let b = sim.add_process(Quitter);
+        sim.post(b, a, ());
+        sim.post(b, a, ()); // second message arrives after the stop
+        sim.run_until_quiescent(100);
+        assert!(!sim.is_alive(a));
+        assert!(sim.is_alive(b));
+        assert_eq!(sim.stats().delivered, 1);
+        assert_eq!(sim.stats().undeliverable, 1);
+    }
+
+    #[test]
+    fn ties_break_in_insertion_order() {
+        // Two messages posted at the same instant with constant latency
+        // must deliver in post order.
+        struct Recorder {
+            log: Vec<u32>,
+        }
+        impl Process for Recorder {
+            type Msg = u32;
+            fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: Addr, msg: u32) {
+                self.log.push(msg);
+            }
+        }
+        let mut sim = Simulation::new(SimConfig::default(), 3);
+        let r = sim.add_process(Recorder { log: Vec::new() });
+        let s = sim.add_process(Recorder { log: Vec::new() });
+        for i in 0..10 {
+            sim.post(s, r, i);
+        }
+        sim.run_until_quiescent(100);
+        assert_eq!(sim.process(r).unwrap().log, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn config_validates_loss() {
+        let config = SimConfig {
+            loss_probability: 1.5,
+            ..SimConfig::default()
+        };
+        let _sim: Simulation<Echo> = Simulation::new(config, 0);
+    }
+}

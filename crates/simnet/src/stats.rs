@@ -1,0 +1,56 @@
+//! Simulation-wide counters.
+
+use std::fmt;
+
+/// Counters accumulated over a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_simnet::SimStats;
+///
+/// let stats = SimStats::default();
+/// assert_eq!(stats.sent, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Messages handed to the network (including ones later dropped).
+    pub sent: u64,
+    /// Messages delivered to a live process.
+    pub delivered: u64,
+    /// Messages dropped by the loss model.
+    pub lost: u64,
+    /// Messages addressed to a crashed/removed process.
+    pub undeliverable: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Total events processed.
+    pub events: u64,
+}
+
+impl fmt::Display for SimStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent={} delivered={} lost={} undeliverable={} timers={} events={}",
+            self.sent,
+            self.delivered,
+            self.lost,
+            self.undeliverable,
+            self.timers_fired,
+            self.events
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zero_and_displayable() {
+        let s = SimStats::default();
+        assert_eq!(s.events, 0);
+        assert!(format!("{s}").contains("sent=0"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests on the simulator's core guarantees.
+
+use geogrid_simnet::{Addr, Context, LatencyModel, Process, SimConfig, SimTime, Simulation};
+use proptest::prelude::*;
+
+/// Records every delivery with its arrival time.
+struct Recorder {
+    log: Vec<(Addr, u32, SimTime)>,
+}
+
+impl Process for Recorder {
+    type Msg = u32;
+
+    fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: Addr, msg: u32) {
+        let now = ctx.now();
+        self.log.push((from, msg, now));
+    }
+}
+
+fn sim(latency: LatencyModel, loss: f64, seed: u64) -> Simulation<Recorder> {
+    Simulation::new(
+        SimConfig {
+            latency,
+            loss_probability: loss,
+        },
+        seed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delivery times never run backwards and every message arrives no
+    /// earlier than its minimum latency.
+    #[test]
+    fn time_is_monotone_and_latency_respected(
+        seed in any::<u64>(),
+        min_ms in 1u64..20,
+        spread in 0u64..30,
+        count in 1usize..50
+    ) {
+        let mut s = sim(LatencyModel::uniform_millis(min_ms, min_ms + spread), 0.0, seed);
+        let r = s.add_process(Recorder { log: Vec::new() });
+        let src = s.add_process(Recorder { log: Vec::new() });
+        for i in 0..count {
+            s.post(src, r, i as u32);
+        }
+        s.run_until_quiescent(100_000);
+        let log = &s.process(r).unwrap().log;
+        prop_assert_eq!(log.len(), count);
+        let mut last = SimTime::ZERO;
+        for (_, _, at) in log {
+            prop_assert!(*at >= last, "delivery time went backwards");
+            prop_assert!(*at >= SimTime::from_millis(min_ms));
+            last = *at;
+        }
+    }
+
+    /// With constant latency, per-sender FIFO order is preserved.
+    #[test]
+    fn constant_latency_preserves_send_order(seed in any::<u64>(), count in 1usize..80) {
+        let mut s = sim(LatencyModel::constant_millis(3), 0.0, seed);
+        let r = s.add_process(Recorder { log: Vec::new() });
+        let src = s.add_process(Recorder { log: Vec::new() });
+        for i in 0..count {
+            s.post(src, r, i as u32);
+        }
+        s.run_until_quiescent(100_000);
+        let msgs: Vec<u32> = s.process(r).unwrap().log.iter().map(|(_, m, _)| *m).collect();
+        prop_assert_eq!(msgs, (0..count as u32).collect::<Vec<_>>());
+    }
+
+    /// sent == delivered + lost + undeliverable, always.
+    #[test]
+    fn conservation_of_messages(
+        seed in any::<u64>(),
+        loss in 0.0..0.9,
+        count in 1usize..100,
+        crash_receiver in any::<bool>()
+    ) {
+        let mut s = sim(LatencyModel::constant_millis(1), loss, seed);
+        let r = s.add_process(Recorder { log: Vec::new() });
+        let src = s.add_process(Recorder { log: Vec::new() });
+        if crash_receiver {
+            s.crash(r);
+        }
+        for i in 0..count {
+            s.post(src, r, i as u32);
+        }
+        s.run_until_quiescent(100_000);
+        let st = s.stats();
+        prop_assert_eq!(st.sent, count as u64);
+        prop_assert_eq!(st.sent, st.delivered + st.lost + st.undeliverable);
+        if crash_receiver {
+            prop_assert_eq!(st.delivered, 0);
+        }
+    }
+
+    /// Two simulations with the same seed produce identical logs.
+    #[test]
+    fn determinism(seed in any::<u64>(), count in 1usize..60) {
+        let run = |seed| {
+            let mut s = sim(LatencyModel::uniform_millis(1, 9), 0.2, seed);
+            let r = s.add_process(Recorder { log: Vec::new() });
+            let src = s.add_process(Recorder { log: Vec::new() });
+            for i in 0..count {
+                s.post(src, r, i as u32);
+            }
+            s.run_until_quiescent(100_000);
+            s.process(r).unwrap().log.clone()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// run_until never processes events beyond the deadline.
+    #[test]
+    fn run_until_respects_deadline(seed in any::<u64>(), deadline_ms in 1u64..50) {
+        let mut s = sim(LatencyModel::uniform_millis(1, 100), 0.0, seed);
+        let r = s.add_process(Recorder { log: Vec::new() });
+        let src = s.add_process(Recorder { log: Vec::new() });
+        for i in 0..50 {
+            s.post(src, r, i as u32);
+        }
+        let deadline = SimTime::from_millis(deadline_ms);
+        s.run_until(deadline, 100_000);
+        for (_, _, at) in &s.process(r).unwrap().log {
+            prop_assert!(*at <= deadline);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Length-prefixed framing over async byte streams.
+//!
+//! Each frame is a little-endian `u32` length followed by that many bytes
+//! (one encoded [`Envelope`](crate::wire::Envelope)). Frames above
+//! [`MAX_FRAME`] are rejected on both sides.
+
+use std::io;
+
+use bytes::Bytes;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// Largest accepted frame (32 MiB).
+pub const MAX_FRAME: usize = 32 * 1024 * 1024;
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// I/O errors from the underlying writer, or `InvalidInput` if the
+/// payload exceeds [`MAX_FRAME`].
+pub async fn write_frame<W: AsyncWrite + Unpin>(writer: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds limit", payload.len()),
+        ));
+    }
+    writer
+        .write_all(&(payload.len() as u32).to_le_bytes())
+        .await?;
+    writer.write_all(payload).await?;
+    writer.flush().await
+}
+
+/// Reads one frame. Returns `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O errors, `UnexpectedEof` inside a frame, or `InvalidData` for an
+/// oversized length prefix.
+pub async fn read_frame<R: AsyncRead + Unpin>(reader: &mut R) -> io::Result<Option<Bytes>> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf).await {
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload).await?;
+    Ok(Some(Bytes::from(payload)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn round_trips_frames() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        write_frame(&mut a, b"hello").await.unwrap();
+        write_frame(&mut a, b"").await.unwrap();
+        write_frame(&mut a, b"world!").await.unwrap();
+        drop(a);
+        assert_eq!(read_frame(&mut b).await.unwrap().unwrap(), &b"hello"[..]);
+        assert_eq!(read_frame(&mut b).await.unwrap().unwrap(), &b""[..]);
+        assert_eq!(read_frame(&mut b).await.unwrap().unwrap(), &b"world!"[..]);
+        assert!(read_frame(&mut b).await.unwrap().is_none());
+    }
+
+    #[tokio::test]
+    async fn eof_mid_frame_is_an_error() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        a.write_all(&10u32.to_le_bytes()).await.unwrap();
+        a.write_all(b"abc").await.unwrap();
+        drop(a);
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[tokio::test]
+    async fn oversized_length_rejected() {
+        let (mut a, mut b) = tokio::io::duplex(1024);
+        a.write_all(&(u32::MAX).to_le_bytes()).await.unwrap();
+        let err = read_frame(&mut b).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[tokio::test]
+    async fn oversized_write_rejected() {
+        let (mut a, _b) = tokio::io::duplex(64);
+        let big = vec![0u8; MAX_FRAME + 1];
+        let err = write_frame(&mut a, &big).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,264 @@
+//! Property/fuzz tests for the wire codec.
+//!
+//! Two invariants a hand-rolled codec must never lose:
+//! 1. decode(encode(m)) == m for every well-formed envelope;
+//! 2. decode never panics on arbitrary bytes — corrupt or hostile input
+//!    yields `Err`, not UB or a crash.
+
+use geogrid_core::engine::{Message, NeighborInfo};
+use geogrid_core::service::{LocationQuery, LocationRecord, RegionStore, Subscription};
+use geogrid_core::{NodeId, NodeInfo};
+use geogrid_geometry::{Point, Region};
+use geogrid_transport::Envelope;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-1e6..1e6, -1e6..1e6).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_node_info() -> impl Strategy<Value = NodeInfo> {
+    (any::<u64>(), arb_point(), 1e-3..1e6)
+        .prop_map(|(id, p, cap)| NodeInfo::new(NodeId::new(id), p, cap))
+}
+
+fn arb_region() -> impl Strategy<Value = Region> {
+    (-1e6..1e6, -1e6..1e6, 1e-3..1e6, 1e-3..1e6).prop_map(|(x, y, w, h)| Region::new(x, y, w, h))
+}
+
+fn arb_neighbor() -> impl Strategy<Value = NeighborInfo> {
+    (
+        arb_node_info(),
+        proptest::option::of(arb_node_info()),
+        arb_region(),
+    )
+        .prop_map(|(primary, secondary, region)| NeighborInfo {
+            primary,
+            secondary,
+            region,
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = LocationRecord> {
+    (
+        any::<u64>(),
+        "[a-z]{1,12}",
+        arb_point(),
+        proptest::collection::vec(any::<u8>(), 0..64),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(id, topic, pos, payload, expiry)| {
+            let r = LocationRecord::new(id, topic, pos, payload);
+            match expiry {
+                Some(t) => r.with_expiry(t),
+                None => r,
+            }
+        })
+}
+
+fn arb_subscription() -> impl Strategy<Value = Subscription> {
+    (
+        any::<u64>(),
+        arb_region(),
+        any::<u64>(),
+        any::<u64>(),
+        proptest::option::of("[a-z]{1,12}"),
+    )
+        .prop_map(|(id, area, sub, exp, topic)| {
+            let s = Subscription::new(id, area, NodeId::new(sub), exp);
+            match topic {
+                Some(t) => s.with_topic(t),
+                None => s,
+            }
+        })
+}
+
+fn arb_store() -> impl Strategy<Value = RegionStore> {
+    (
+        proptest::collection::vec(arb_record(), 0..8),
+        proptest::collection::vec(arb_subscription(), 0..8),
+    )
+        .prop_map(|(records, subs)| {
+            let mut store = RegionStore::new();
+            for s in subs {
+                store.subscribe(s, 0);
+            }
+            for r in records {
+                store.publish(r, 0);
+            }
+            store
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = LocationQuery> {
+    (
+        arb_region(),
+        any::<u64>(),
+        proptest::option::of("[a-z]{1,12}"),
+    )
+        .prop_map(|(area, issuer, topic)| {
+            let q = LocationQuery::new(area, NodeId::new(issuer));
+            match topic {
+                Some(t) => q.with_topic(t),
+                None => q,
+            }
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (arb_node_info(), any::<u32>())
+            .prop_map(|(joiner, hops)| Message::JoinRequest { joiner, hops }),
+        arb_node_info().prop_map(|joiner| Message::JoinDirected { joiner }),
+        (
+            arb_region(),
+            proptest::collection::vec(arb_neighbor(), 0..4),
+            arb_store()
+        )
+            .prop_map(|(region, neighbors, store)| Message::JoinSplit {
+                region,
+                neighbors,
+                store
+            }),
+        (
+            arb_region(),
+            arb_node_info(),
+            arb_store(),
+            proptest::collection::vec(arb_neighbor(), 0..4)
+        )
+            .prop_map(
+                |(region, primary, store, neighbors)| Message::JoinAsSecondary {
+                    region,
+                    primary,
+                    store,
+                    neighbors
+                }
+            ),
+        arb_neighbor().prop_map(|info| Message::NeighborUpdate { info }),
+        (
+            arb_query(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(query, qid, reply, hops, fanout)| Message::Query {
+                query,
+                query_id: qid,
+                reply_to: NodeId::new(reply),
+                hops,
+                fanout
+            }),
+        (any::<u64>(), proptest::collection::vec(arb_record(), 0..6))
+            .prop_map(|(query_id, records)| Message::QueryReply { query_id, records }),
+        (arb_record(), any::<u32>()).prop_map(|(record, hops)| Message::Publish { record, hops }),
+        (arb_subscription(), any::<u32>(), any::<bool>())
+            .prop_map(|(sub, hops, fanout)| Message::Subscribe { sub, hops, fanout }),
+        arb_record().prop_map(|record| Message::Notify { record }),
+        (arb_neighbor(), 0.0..1e9).prop_map(|(info, index)| Message::Heartbeat { info, index }),
+        (arb_node_info(), 0.0..1e9, any::<bool>()).prop_map(|(requester, index, swap)| {
+            Message::StealSecondaryRequest {
+                requester,
+                index,
+                swap,
+            }
+        }),
+        (arb_node_info(), arb_region(), any::<bool>()).prop_map(
+            |(secondary, donor_region, swap)| Message::StealSecondaryGrant {
+                secondary,
+                donor_region,
+                swap
+            }
+        ),
+        Just(Message::StealSecondaryDeny),
+        Just(Message::LeaveNotice),
+        Just(Message::Detached),
+        arb_region().prop_map(|region| Message::WhoOwns { region }),
+        arb_neighbor().prop_map(|info| Message::OwnerIs { info }),
+        (
+            arb_region(),
+            arb_store(),
+            proptest::collection::vec(arb_neighbor(), 0..4)
+        )
+            .prop_map(|(region, store, neighbors)| Message::MergeRegions {
+                region,
+                store,
+                neighbors
+            }),
+        (
+            arb_region(),
+            arb_store(),
+            proptest::collection::vec(arb_neighbor(), 0..4),
+            proptest::option::of(arb_node_info())
+        )
+            .prop_map(|(region, store, neighbors, new_secondary)| {
+                Message::TakeOverRegion {
+                    region,
+                    store,
+                    neighbors,
+                    new_secondary,
+                }
+            }),
+    ]
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        arb_node_info(),
+        proptest::collection::vec((any::<u64>(), 1024u16..u16::MAX), 0..4),
+        arb_message(),
+    )
+        .prop_map(|(sender, addrs, message)| Envelope {
+            sender,
+            sender_addr: "127.0.0.1:7000".parse().expect("literal"),
+            addrs: addrs
+                .into_iter()
+                .map(|(id, port)| {
+                    (
+                        NodeId::new(id),
+                        format!("127.0.0.1:{port}").parse().expect("valid"),
+                    )
+                })
+                .collect(),
+            message,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// decode(encode(env)) round-trips every message shape exactly.
+    #[test]
+    fn round_trip_arbitrary_envelopes(env in arb_envelope()) {
+        let bytes = env.encode();
+        let back = Envelope::decode(&bytes).expect("well-formed input decodes");
+        prop_assert_eq!(back, env);
+    }
+
+    /// Arbitrary bytes never panic the decoder.
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Envelope::decode(&bytes); // Err is fine; panicking is not
+    }
+
+    /// Single-byte corruption of a valid envelope never panics (it may
+    /// still decode if the flipped byte lands in a payload).
+    #[test]
+    fn decode_survives_single_byte_corruption(
+        env in arb_envelope(),
+        pos_seed in any::<usize>(),
+        xor in 1u8..=255
+    ) {
+        let mut bytes = env.encode().to_vec();
+        let pos = pos_seed % bytes.len();
+        bytes[pos] ^= xor;
+        let _ = Envelope::decode(&bytes);
+    }
+
+    /// Truncation at any point never panics and never yields Ok.
+    #[test]
+    fn decode_rejects_all_truncations(env in arb_envelope(), cut_seed in any::<usize>()) {
+        let bytes = env.encode();
+        let cut = cut_seed % bytes.len();
+        prop_assert!(Envelope::decode(&bytes[..cut]).is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! Circular query hot spots and their migration.
+//!
+//! §3.1 of the paper: "Each hot spot is a circular area with a random
+//! initial radius between 0.1 and 10 miles. The cell at the center of a hot
+//! spot has the highest normalized workload 1 and the ones on its border
+//! have workload 0. The workloads of cells covered by the hot spot is
+//! decided by a formula `1 − d/r` […] At the end of each era, we force each
+//! hot spot to migrate along a randomly chosen direction and at a random
+//! step size uniformly chosen from range `(0, 2r)`."
+
+use std::f64::consts::TAU;
+use std::fmt;
+
+use geogrid_geometry::{Circle, Point, Space};
+use rand::Rng;
+
+/// Default radius range of a hot spot, in miles (paper §3.1).
+pub const RADIUS_RANGE: (f64, f64) = (0.1, 10.0);
+
+/// One circular query hot spot.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_geometry::Point;
+/// use geogrid_workload::HotSpot;
+///
+/// let spot = HotSpot::new(Point::new(32.0, 32.0), 5.0);
+/// assert_eq!(spot.weight(Point::new(32.0, 32.0)), 1.0);
+/// assert_eq!(spot.weight(Point::new(40.0, 32.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HotSpot {
+    circle: Circle,
+}
+
+impl HotSpot {
+    /// Creates a hot spot centered at `center` with radius `radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the radius is not strictly positive and finite.
+    pub fn new(center: Point, radius: f64) -> Self {
+        Self {
+            circle: Circle::new(center, radius),
+        }
+    }
+
+    /// Draws a hot spot with uniform center in `space` and radius uniform
+    /// in [`RADIUS_RANGE`].
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, space: Space) -> Self {
+        let bounds = space.bounds();
+        let center = Point::new(
+            rng.random_range(bounds.x()..=bounds.east()),
+            rng.random_range(bounds.y()..=bounds.north()),
+        );
+        let radius = rng.random_range(RADIUS_RANGE.0..=RADIUS_RANGE.1);
+        Self::new(center, radius)
+    }
+
+    /// The underlying circle.
+    pub fn circle(&self) -> Circle {
+        self.circle
+    }
+
+    /// Center of the spot.
+    pub fn center(&self) -> Point {
+        self.circle.center()
+    }
+
+    /// Radius of the spot.
+    pub fn radius(&self) -> f64 {
+        self.circle.radius()
+    }
+
+    /// Normalized workload this spot contributes at `p`: `1 − d/r` inside,
+    /// 0 at the border and beyond.
+    pub fn weight(&self, p: Point) -> f64 {
+        self.circle.linear_decay(p)
+    }
+
+    /// Migrates the spot one epoch: a uniformly random direction and a step
+    /// size uniform in `(0, 2r)`, with the center clamped back into `space`.
+    pub fn migrate<R: Rng + ?Sized>(&mut self, rng: &mut R, space: Space) {
+        let angle = rng.random_range(0.0..TAU);
+        let step = rng.random_range(f64::MIN_POSITIVE..(2.0 * self.radius()));
+        let moved = self
+            .center()
+            .translated(step * angle.cos(), step * angle.sin());
+        self.circle = Circle::new(space.clamp(moved), self.radius());
+    }
+}
+
+impl fmt::Display for HotSpot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hotspot {}", self.circle)
+    }
+}
+
+/// A set of hot spots forming the workload field over the plane.
+///
+/// The field's weight at a point is the **sum** of the individual spots'
+/// linear-decay weights (spots are independent query populations; where two
+/// overlap, both populations query).
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_geometry::{Point, Space};
+/// use geogrid_workload::HotSpotField;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let mut field = HotSpotField::random(&mut rng, Space::paper_evaluation(), 5);
+/// assert_eq!(field.len(), 5);
+/// field.advance_epoch(&mut rng, Space::paper_evaluation());
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HotSpotField {
+    spots: Vec<HotSpot>,
+}
+
+impl HotSpotField {
+    /// Creates a field from explicit spots.
+    pub fn new(spots: Vec<HotSpot>) -> Self {
+        Self { spots }
+    }
+
+    /// Draws `count` random spots in `space`.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R, space: Space, count: usize) -> Self {
+        Self::new((0..count).map(|_| HotSpot::random(rng, space)).collect())
+    }
+
+    /// Number of spots.
+    pub fn len(&self) -> usize {
+        self.spots.len()
+    }
+
+    /// Whether the field has no spots.
+    pub fn is_empty(&self) -> bool {
+        self.spots.is_empty()
+    }
+
+    /// Read-only view of the spots.
+    pub fn spots(&self) -> &[HotSpot] {
+        &self.spots
+    }
+
+    /// Total workload weight at `p` (sum over spots).
+    pub fn weight(&self, p: Point) -> f64 {
+        self.spots.iter().map(|s| s.weight(p)).sum()
+    }
+
+    /// Migrates every spot one epoch (the paper's end-of-era forced
+    /// migration).
+    pub fn advance_epoch<R: Rng + ?Sized>(&mut self, rng: &mut R, space: Space) {
+        for spot in &mut self.spots {
+            spot.migrate(rng, space);
+        }
+    }
+
+    /// Migrates every spot `steps` epochs. The moving-hot-spot convergence
+    /// experiment advances spots "4 to 10 steps before a round of
+    /// adaptation ends".
+    pub fn advance_epochs<R: Rng + ?Sized>(&mut self, rng: &mut R, space: Space, steps: usize) {
+        for _ in 0..steps {
+            self.advance_epoch(rng, space);
+        }
+    }
+}
+
+impl FromIterator<HotSpot> for HotSpotField {
+    fn from_iter<T: IntoIterator<Item = HotSpot>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn weight_decays_linearly() {
+        let s = HotSpot::new(Point::new(10.0, 10.0), 4.0);
+        assert_eq!(s.weight(Point::new(10.0, 10.0)), 1.0);
+        assert!((s.weight(Point::new(12.0, 10.0)) - 0.5).abs() < 1e-12);
+        assert_eq!(s.weight(Point::new(14.0, 10.0)), 0.0);
+    }
+
+    #[test]
+    fn random_spot_respects_paper_ranges() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = HotSpot::random(&mut rng, space);
+            assert!(space.covers(s.center()));
+            assert!((RADIUS_RANGE.0..=RADIUS_RANGE.1).contains(&s.radius()));
+        }
+    }
+
+    #[test]
+    fn migration_step_is_bounded_by_two_radii() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let mut s = HotSpot::new(Point::new(32.0, 32.0), 3.0);
+            let before = s.center();
+            s.migrate(&mut rng, space);
+            let step = before.distance(s.center());
+            assert!(step > 0.0, "spot must move");
+            assert!(step <= 2.0 * s.radius() + 1e-9, "step {step} too large");
+            assert_eq!(s.radius(), 3.0, "radius never changes");
+        }
+    }
+
+    #[test]
+    fn migration_keeps_center_in_space() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(17);
+        // Start at a corner so clamping actually matters.
+        let mut s = HotSpot::new(Point::new(0.5, 0.5), 10.0);
+        for _ in 0..50 {
+            s.migrate(&mut rng, space);
+            assert!(space.covers(s.center()));
+        }
+    }
+
+    #[test]
+    fn field_weight_sums_overlapping_spots() {
+        let a = HotSpot::new(Point::new(0.0, 0.0), 2.0);
+        let b = HotSpot::new(Point::new(1.0, 0.0), 2.0);
+        let field: HotSpotField = [a, b].into_iter().collect();
+        let w = field.weight(Point::new(0.5, 0.0));
+        let expected = a.weight(Point::new(0.5, 0.0)) + b.weight(Point::new(0.5, 0.0));
+        assert!((w - expected).abs() < 1e-12);
+        assert!(w > 1.0, "overlap should add up");
+    }
+
+    #[test]
+    fn epoch_advancement_moves_every_spot() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut field = HotSpotField::random(&mut rng, space, 8);
+        let before: Vec<Point> = field.spots().iter().map(|s| s.center()).collect();
+        field.advance_epoch(&mut rng, space);
+        let moved = field
+            .spots()
+            .iter()
+            .zip(&before)
+            .filter(|(s, &b)| s.center().distance(b) > 0.0)
+            .count();
+        assert_eq!(moved, 8);
+    }
+
+    #[test]
+    fn empty_field_weight_is_zero() {
+        let field = HotSpotField::default();
+        assert!(field.is_empty());
+        assert_eq!(field.weight(Point::new(1.0, 1.0)), 0.0);
+    }
+}

@@ -1,0 +1,230 @@
+//! Location-query generators.
+//!
+//! Routing workload in GeoGrid comes from location queries traversing the
+//! overlay. The generator draws query *target* points — either uniformly
+//! or biased toward the hot-spot field (queries concentrate where the
+//! action is, per the paper's Super-Bowl parking example) — plus a query
+//! rectangle around each target.
+
+use geogrid_geometry::{Point, Region, Space};
+use rand::Rng;
+
+use crate::hotspot::HotSpotField;
+
+/// A generated location query: a spatial query region and its center.
+///
+/// The paper tags each request with the coordinate `(x, y)` representing
+/// its spatial query region `(x, y, W, H)`; routing aims at the center
+/// point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneratedQuery {
+    /// Center of the query region (the routing target).
+    pub target: Point,
+    /// The rectangular spatial query region.
+    pub region: Region,
+}
+
+/// Draws query targets and rectangles over a space.
+///
+/// # Examples
+///
+/// ```
+/// use geogrid_geometry::Space;
+/// use geogrid_workload::{HotSpotField, QueryGenerator};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// let space = Space::paper_evaluation();
+/// let field = HotSpotField::random(&mut rng, space, 4);
+/// let mut gen = QueryGenerator::new(space).hotspot_bias(0.8);
+/// let q = gen.generate(&mut rng, &field);
+/// assert!(space.covers(q.target));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryGenerator {
+    space: Space,
+    bias: f64,
+    min_extent: f64,
+    max_extent: f64,
+}
+
+impl QueryGenerator {
+    /// A generator with default settings: no hot-spot bias, query
+    /// rectangles between 0.25 and 2 miles on a side.
+    pub fn new(space: Space) -> Self {
+        Self {
+            space,
+            bias: 0.0,
+            min_extent: 0.25,
+            max_extent: 2.0,
+        }
+    }
+
+    /// Sets the probability that a query targets the hot-spot field rather
+    /// than a uniform location.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is outside `[0, 1]`.
+    pub fn hotspot_bias(mut self, bias: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bias), "bias must be a probability");
+        self.bias = bias;
+        self
+    }
+
+    /// Sets the query-rectangle side-length range.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min <= max`.
+    pub fn extent_range(mut self, min: f64, max: f64) -> Self {
+        assert!(min > 0.0 && min <= max, "need 0 < min <= max");
+        self.min_extent = min;
+        self.max_extent = max;
+        self
+    }
+
+    /// Draws one query.
+    ///
+    /// A hot-spot-biased target picks a spot (weighted by radius, larger
+    /// spots attract more queries), then a point inside it with the same
+    /// linear density the workload field uses. Falls back to uniform when
+    /// the field is empty.
+    pub fn generate<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        field: &HotSpotField,
+    ) -> GeneratedQuery {
+        let target = if !field.is_empty() && rng.random::<f64>() < self.bias {
+            self.sample_hotspot_target(rng, field)
+        } else {
+            self.sample_uniform_target(rng)
+        };
+        let w = rng.random_range(self.min_extent..=self.max_extent);
+        let h = rng.random_range(self.min_extent..=self.max_extent);
+        let region = Region::new(target.x - w / 2.0, target.y - h / 2.0, w, h);
+        GeneratedQuery { target, region }
+    }
+
+    /// Draws `n` queries.
+    pub fn generate_many<R: Rng + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        field: &HotSpotField,
+        n: usize,
+    ) -> Vec<GeneratedQuery> {
+        (0..n).map(|_| self.generate(rng, field)).collect()
+    }
+
+    fn sample_uniform_target<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let b = self.space.bounds();
+        Point::new(
+            rng.random_range(b.x()..=b.east()),
+            rng.random_range(b.y()..=b.north()),
+        )
+    }
+
+    fn sample_hotspot_target<R: Rng + ?Sized>(&self, rng: &mut R, field: &HotSpotField) -> Point {
+        let total: f64 = field.spots().iter().map(|s| s.radius()).sum();
+        let mut pick = rng.random_range(0.0..total);
+        let mut chosen = field.spots()[field.len() - 1];
+        for spot in field.spots() {
+            if pick < spot.radius() {
+                chosen = *spot;
+                break;
+            }
+            pick -= spot.radius();
+        }
+        // Radial density proportional to (1 - d/r): inverse-CDF sampling of
+        // d/r from density f(u) ∝ u(1-u) on [0, 1] via rejection (cheap and
+        // exact).
+        loop {
+            let u: f64 = rng.random();
+            let accept: f64 = rng.random();
+            if accept <= 4.0 * u * (1.0 - u) {
+                let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                let d = u * chosen.radius();
+                let p = chosen.center().translated(d * angle.cos(), d * angle.sin());
+                return self.space.clamp(p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotspot::HotSpot;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn queries_stay_in_space_and_center_on_target() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let field = HotSpotField::random(&mut rng, space, 3);
+        let mut generator = QueryGenerator::new(space).hotspot_bias(0.5);
+        for q in generator.generate_many(&mut rng, &field, 500) {
+            assert!(space.covers(q.target));
+            assert!(q.region.center().distance(q.target) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_bias_concentrates_near_spots() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let spot = HotSpot::new(Point::new(48.0, 48.0), 5.0);
+        let field = HotSpotField::new(vec![spot]);
+        let mut generator = QueryGenerator::new(space).hotspot_bias(1.0);
+        let qs = generator.generate_many(&mut rng, &field, 300);
+        let near = qs
+            .iter()
+            .filter(|q| q.target.distance(spot.center()) <= spot.radius() + 1e-9)
+            .count();
+        assert_eq!(near, 300);
+    }
+
+    #[test]
+    fn zero_bias_is_uniform() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let spot = HotSpot::new(Point::new(1.0, 1.0), 1.0);
+        let field = HotSpotField::new(vec![spot]);
+        let mut generator = QueryGenerator::new(space).hotspot_bias(0.0);
+        let qs = generator.generate_many(&mut rng, &field, 500);
+        let far = qs
+            .iter()
+            .filter(|q| q.target.distance(spot.center()) > 10.0)
+            .count();
+        assert!(far > 350, "uniform targets should mostly be far: {far}");
+    }
+
+    #[test]
+    fn empty_field_falls_back_to_uniform() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut generator = QueryGenerator::new(space).hotspot_bias(1.0);
+        // Must not panic despite full bias.
+        let q = generator.generate(&mut rng, &HotSpotField::default());
+        assert!(space.covers(q.target));
+    }
+
+    #[test]
+    fn extent_range_is_respected() {
+        let space = Space::paper_evaluation();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let field = HotSpotField::default();
+        let mut generator = QueryGenerator::new(space).extent_range(1.0, 1.5);
+        for q in generator.generate_many(&mut rng, &field, 100) {
+            assert!(q.region.width() >= 1.0 && q.region.width() <= 1.5);
+            assert!(q.region.height() >= 1.0 && q.region.height() <= 1.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bias must be a probability")]
+    fn bias_validated() {
+        QueryGenerator::new(Space::paper_evaluation()).hotspot_bias(1.5);
+    }
+}
