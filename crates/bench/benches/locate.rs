@@ -1,0 +1,52 @@
+//! Criterion: point location through the grid index (`Topology::locate`)
+//! versus the linear scan it replaced (`Topology::locate_scan`), across
+//! network sizes. The scan is O(regions); the index is O(1) amortized —
+//! the gap should widen roughly linearly with the region count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geogrid_bench::common::build_network;
+use geogrid_bench::ExperimentConfig;
+use geogrid_core::builder::Mode;
+use geogrid_geometry::Point;
+use std::hint::black_box;
+
+/// Deterministic probe spread over the 64x64 plane.
+fn probe(i: u64) -> Point {
+    let x = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+    let y = (i.wrapping_mul(0xD1B54A32D192ED03) >> 11) as f64 / (1u64 << 53) as f64 * 64.0;
+    Point::new(x, y)
+}
+
+fn bench_locate(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let sizes: Vec<usize> = (6..=14).map(|e| 1usize << e).collect();
+
+    let mut grid = c.benchmark_group("locate_grid");
+    for &n in &sizes {
+        let topo = build_network(&config, Mode::Basic, n, 0);
+        grid.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(topo.locate(probe(i)).unwrap())
+            })
+        });
+    }
+    grid.finish();
+
+    let mut scan = c.benchmark_group("locate_scan");
+    for &n in &sizes {
+        let topo = build_network(&config, Mode::Basic, n, 0);
+        scan.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i = i.wrapping_add(1);
+                black_box(topo.locate_scan(probe(i)).unwrap())
+            })
+        });
+    }
+    scan.finish();
+}
+
+criterion_group!(benches, bench_locate);
+criterion_main!(benches);

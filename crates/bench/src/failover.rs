@@ -24,6 +24,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::common::ExperimentConfig;
+use crate::par::par_trials;
 
 /// Nodes in the simulated overlay.
 pub const NODES: usize = 48;
@@ -159,9 +160,13 @@ pub fn run_sized(config: &ExperimentConfig, nodes: usize, records: usize) -> Vec
             eprintln!("failover: {label} at {:.0}% crash...", fraction * 100.0);
             let mut survival = RunningStats::new();
             let mut availability = RunningStats::new();
-            for trial in 0..trials {
+            // Parallel sim trials, folded in trial order (identical to the
+            // serial loop; each trial's harness is seeded by its index).
+            let results = par_trials(trials, |trial| {
                 let seed = config.seed ^ ((trial as u64) << 21) ^ (fraction * 100.0) as u64;
-                let (s, a) = run_trial(mode, fraction, seed, nodes, records);
+                run_trial(mode, fraction, seed, nodes, records)
+            });
+            for (s, a) in results {
                 survival.push(s);
                 availability.push(a);
             }

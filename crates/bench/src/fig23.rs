@@ -16,6 +16,7 @@ use geogrid_metrics::{gini, table::Table, Summary};
 use geogrid_workload::WorkloadGrid;
 
 use crate::common::{build_network, ExperimentConfig};
+use crate::par::par_trials;
 
 /// Number of nodes in the visualized network (paper: 500).
 pub const NODES: usize = 500;
@@ -91,7 +92,7 @@ pub fn heatmap(topo: &Topology, grid: &WorkloadGrid, cols: usize, rows: usize) -
                 (col as f64 + 0.5) / cols as f64 * w,
                 (row as f64 + 0.5) / rows as f64 * h,
             );
-            let rid = topo.locate_scan(p).expect("point in space");
+            let rid = topo.locate(p).expect("point in space");
             let v = loads.index_of(topo, rid) / max;
             let shade = ((v * (shades.len() - 1) as f64).round() as usize).min(shades.len() - 1);
             out.push(shades[shade]);
@@ -155,11 +156,15 @@ pub fn run(config: &ExperimentConfig) -> (DistributionStats, DistributionStats) 
     let mut rng = config.rng(23, 0);
     let (_, grid) = config.field_and_grid(&mut rng);
 
-    let mut out = Vec::new();
-    for (mode, variant, csv) in [
-        (Mode::Basic, "basic", "fig2_regions"),
-        (Mode::DualPeer, "dual", "fig3_regions"),
-    ] {
+    const VARIANTS: [(Mode, &str, &str, &str); 2] = [
+        (Mode::Basic, "basic", "fig2_regions", "fig2_map"),
+        (Mode::DualPeer, "dual", "fig3_regions", "fig3_map"),
+    ];
+    // Build and render the two variants in parallel; all printing and
+    // file writes happen below, serially in variant order, so the output
+    // is identical to the serial loop.
+    let rendered = par_trials(VARIANTS.len(), |i| {
+        let (mode, variant, _, _) = VARIANTS[i];
         let topo = build_network(config, mode, NODES, 0);
         let loads = LoadMap::from_grid(&topo, &grid);
         let mut per_region = Table::new([
@@ -188,23 +193,23 @@ pub fn run(config: &ExperimentConfig) -> (DistributionStats, DistributionStats) 
                 format!("{}", e.is_full()),
             ]);
         }
+        let svg = svg_map(&topo, &grid, 640.0);
+        let heat = heatmap(&topo, &grid, 64, 24);
+        let stats = stats_for(variant, &topo, &grid);
+        (per_region, svg, heat, topo.region_count(), stats)
+    });
+
+    let mut out = Vec::new();
+    for (i, (per_region, svg, heat, regions, stats)) in rendered.into_iter().enumerate() {
+        let (_, variant, csv, svg_name) = VARIANTS[i];
         config.emit(csv, &per_region);
-        let svg_name = if variant == "basic" {
-            "fig2_map"
-        } else {
-            "fig3_map"
-        };
         let svg_path = config.out_dir.join(format!("{svg_name}.svg"));
-        match std::fs::write(&svg_path, svg_map(&topo, &grid, 640.0)) {
+        match std::fs::write(&svg_path, svg) {
             Ok(()) => println!("-> wrote {}", svg_path.display()),
             Err(e) => eprintln!("-> FAILED to write {}: {e}", svg_path.display()),
         }
-        println!(
-            "{variant} load heat map ({} regions):\n{}",
-            topo.region_count(),
-            heatmap(&topo, &grid, 64, 24)
-        );
-        out.push(stats_for(variant, &topo, &grid));
+        println!("{variant} load heat map ({regions} regions):\n{heat}");
+        out.push(stats);
     }
 
     let mut summary = Table::new([

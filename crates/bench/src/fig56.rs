@@ -12,6 +12,7 @@ use geogrid_core::load::LoadMap;
 use geogrid_metrics::{table::Table, RunningStats};
 
 use crate::common::{adapt_until_stable, build_network, ExperimentConfig};
+use crate::par::par_trials;
 
 /// The paper's population settings.
 pub const POPULATIONS: [usize; 5] = [1_000, 2_000, 4_000, 8_000, 16_000];
@@ -56,26 +57,30 @@ fn aggregate(values: &[(f64, f64, f64)]) -> Cell {
 }
 
 /// Runs one population setting over all trials.
+///
+/// Trials run in parallel; each is a pure function of its index (its RNG
+/// and network are seeded by trial number), and results are folded in
+/// trial order, so the output is identical to the serial loop.
 pub fn run_population(config: &ExperimentConfig, nodes: usize) -> Row {
-    let mut basic = Vec::new();
-    let mut dual = Vec::new();
-    let mut adapted = Vec::new();
-    for trial in 0..config.trials {
+    let samples = par_trials(config.trials, |trial| {
         let mut rng = config.rng(56, trial as u64);
         let (_, grid) = config.field_and_grid(&mut rng);
 
         let topo_basic = build_network(config, Mode::Basic, nodes, trial as u64);
         let s = LoadMap::from_grid(&topo_basic, &grid).summary(&topo_basic);
-        basic.push((s.std_dev(), s.mean(), s.max()));
+        let basic = (s.std_dev(), s.mean(), s.max());
 
         let mut topo_dual = build_network(config, Mode::DualPeer, nodes, trial as u64);
         let s = LoadMap::from_grid(&topo_dual, &grid).summary(&topo_dual);
-        dual.push((s.std_dev(), s.mean(), s.max()));
+        let dual = (s.std_dev(), s.mean(), s.max());
 
         let loads = adapt_until_stable(&mut topo_dual, &grid, MAX_ROUNDS);
         let s = loads.summary(&topo_dual);
-        adapted.push((s.std_dev(), s.mean(), s.max()));
-    }
+        (basic, dual, (s.std_dev(), s.mean(), s.max()))
+    });
+    let basic: Vec<_> = samples.iter().map(|s| s.0).collect();
+    let dual: Vec<_> = samples.iter().map(|s| s.1).collect();
+    let adapted: Vec<_> = samples.iter().map(|s| s.2).collect();
     Row {
         nodes,
         basic: aggregate(&basic),

@@ -18,6 +18,7 @@ use geogrid_workload::WorkloadGrid;
 use rand::Rng;
 
 use crate::common::{build_network, ExperimentConfig};
+use crate::par::par_trials;
 
 /// Network size (paper: 2 × 10³ peers).
 pub const NODES: usize = 2_000;
@@ -103,12 +104,10 @@ pub fn run(config: &ExperimentConfig) -> Series {
 
 /// Runs with a custom network size (tests use small ones).
 pub fn run_sized(config: &ExperimentConfig, nodes: usize) -> Series {
-    let trials: Vec<Series> = (0..config.trials)
-        .map(|t| {
-            eprintln!("fig7/8: trial {}...", t + 1);
-            run_trial(config, nodes, t as u64)
-        })
-        .collect();
+    eprintln!("fig7/8: {} trials...", config.trials);
+    // Parallel across trials; per-round averaging below folds in trial
+    // order, so the output is identical to the serial loop.
+    let trials: Vec<Series> = par_trials(config.trials, |t| run_trial(config, nodes, t as u64));
     let avg = |pick: fn(&Series) -> &Vec<f64>| -> Vec<f64> {
         (0..ROUNDS)
             .map(|round| {

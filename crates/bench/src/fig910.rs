@@ -13,6 +13,7 @@ use geogrid_workload::WorkloadGrid;
 use rand::Rng;
 
 use crate::common::{build_network, ExperimentConfig};
+use crate::par::par_trials;
 
 /// Network size (paper: 2 × 10³ peers).
 pub const NODES: usize = 2_000;
@@ -100,12 +101,10 @@ pub fn run(config: &ExperimentConfig) -> Series {
 
 /// Runs with a custom network size (tests use small ones).
 pub fn run_sized(config: &ExperimentConfig, nodes: usize) -> Series {
-    let trials: Vec<Series> = (0..config.trials)
-        .map(|t| {
-            eprintln!("fig9/10: trial {}...", t + 1);
-            run_trial(config, nodes, t as u64)
-        })
-        .collect();
+    eprintln!("fig9/10: {} trials...", config.trials);
+    // Parallel across trials; per-op averaging below folds in trial order,
+    // so the output is identical to the serial loop.
+    let trials: Vec<Series> = par_trials(config.trials, |t| run_trial(config, nodes, t as u64));
     let avg = |pick: fn(&Series) -> &Vec<(f64, f64)>, which: usize| -> Vec<f64> {
         (0..OPS)
             .map(|op| {

@@ -38,6 +38,7 @@ pub mod fig56;
 pub mod fig78;
 pub mod fig910;
 pub mod mech;
+pub mod par;
 pub mod routing_exp;
 
 pub use common::ExperimentConfig;

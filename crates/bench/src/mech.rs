@@ -17,6 +17,7 @@ use geogrid_metrics::table::Table;
 use geogrid_workload::{HotSpot, HotSpotField, WorkloadGrid};
 
 use crate::common::ExperimentConfig;
+use crate::par::par_trials;
 
 /// Outcome of one vignette.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,91 +105,95 @@ fn apply_expected(stage: &mut Stage, expect: Mechanism, config: &BalanceConfig) 
     }
 }
 
-/// Builds and applies all eight vignettes.
-pub fn run_all() -> Vec<Vignette> {
+/// Builds and applies vignette `i` (0 = (a) … 7 = (h)). Each vignette
+/// constructs its own four-quadrant stage, so they are fully independent.
+fn vignette(i: usize) -> Vignette {
     let config = BalanceConfig::default();
     let remote_config = BalanceConfig {
         search_ttl: 4,
         ..BalanceConfig::default()
     };
-    let mut out = Vec::new();
+    match i {
+        // (a) Steal Secondary Owner: weak hot primary (1), a neighbor
+        // holds a strong secondary (100).
+        0 => {
+            let mut s = stage([1.0, 10.0, 10.0, 10.0]);
+            add_secondary(&mut s, 1, 100.0);
+            apply_expected(&mut s, Mechanism::StealSecondary, &config)
+        }
+        // (b) Switch Primary Owners: weak hot primary (1), strong idle
+        // neighbor primary (100), no secondaries anywhere.
+        1 => {
+            let mut s = stage([1.0, 100.0, 10.0, 10.0]);
+            apply_expected(&mut s, Mechanism::SwitchPrimaries, &config)
+        }
+        // (c) Merge with a Neighbor: the hot spot straddles the SW/SE
+        // border so both halves carry (equal) load — a primary swap with
+        // the strong SE owner gains nothing, but merging the two into one
+        // region under the strong owner beats the average of their
+        // indexes.
+        2 => {
+            let mut s = stage_at([1.0, 100.0, 1.0, 1.0], Point::new(32.0, 16.0));
+            apply_expected(&mut s, Mechanism::MergeWithNeighbor, &config)
+        }
+        // (d) Split a Region: the hot quadrant is full with equal peers
+        // (10/10, the paper's "same capacity" premise).
+        3 => {
+            let mut s = stage([10.0, 10.0, 10.0, 10.0]);
+            add_secondary(&mut s, 0, 10.0);
+            apply_expected(&mut s, Mechanism::SplitRegion, &config)
+        }
+        // (e) Switch Primary with Neighbor's Secondary: hot full region
+        // with weak peers (1 primary, 0.5 secondary — too weak to split
+        // between); every neighbor primary is equally weak (so (b) has no
+        // candidate) but one neighbor holds a strong secondary (100).
+        4 => {
+            let mut s = stage([1.0, 1.0, 1.0, 1.0]);
+            add_secondary(&mut s, 0, 0.5);
+            add_secondary(&mut s, 1, 100.0);
+            apply_expected(&mut s, Mechanism::SwitchPrimaryWithSecondary, &config)
+        }
+        // (f) Steal Remote Secondary: the overloaded region is half-full;
+        // all primaries are equal (no local switch target) and the only
+        // strong secondary sits in the diagonal quadrant — 2 hops away,
+        // reachable only through the TTL search.
+        5 => {
+            let mut s = stage([1.0, 1.0, 1.0, 1.0]);
+            add_secondary(&mut s, 3, 100.0);
+            apply_expected(&mut s, Mechanism::StealRemoteSecondary, &remote_config)
+        }
+        // (g) Switch Primary with Remote Secondary: hot full region with
+        // weak peers; the strong secondary is remote (diagonal).
+        6 => {
+            let mut s = stage([1.0, 1.0, 1.0, 1.0]);
+            add_secondary(&mut s, 0, 0.5);
+            add_secondary(&mut s, 3, 100.0);
+            apply_expected(
+                &mut s,
+                Mechanism::SwitchPrimaryWithRemoteSecondary,
+                &remote_config,
+            )
+        }
+        // (h) Switch Primary with Remote Primary: hot full region with
+        // weak peers; the only strong node is the diagonal *primary*; no
+        // secondaries exist anywhere else.
+        7 => {
+            let mut s = stage([1.0, 1.0, 1.0, 100.0]);
+            add_secondary(&mut s, 0, 0.5);
+            apply_expected(
+                &mut s,
+                Mechanism::SwitchPrimaryWithRemotePrimary,
+                &remote_config,
+            )
+        }
+        _ => unreachable!("eight vignettes"),
+    }
+}
 
-    // (a) Steal Secondary Owner: weak hot primary (1), a neighbor holds a
-    // strong secondary (100).
-    let mut s = stage([1.0, 10.0, 10.0, 10.0]);
-    add_secondary(&mut s, 1, 100.0);
-    out.push(apply_expected(&mut s, Mechanism::StealSecondary, &config));
-
-    // (b) Switch Primary Owners: weak hot primary (1), strong idle
-    // neighbor primary (100), no secondaries anywhere.
-    let mut s = stage([1.0, 100.0, 10.0, 10.0]);
-    out.push(apply_expected(&mut s, Mechanism::SwitchPrimaries, &config));
-
-    // (c) Merge with a Neighbor: the hot spot straddles the SW/SE border
-    // so both halves carry (equal) load — a primary swap with the strong
-    // SE owner gains nothing, but merging the two into one region under
-    // the strong owner beats the average of their indexes.
-    let mut s = stage_at([1.0, 100.0, 1.0, 1.0], Point::new(32.0, 16.0));
-    out.push(apply_expected(
-        &mut s,
-        Mechanism::MergeWithNeighbor,
-        &config,
-    ));
-
-    // (d) Split a Region: the hot quadrant is full with equal peers
-    // (10/10, the paper's "same capacity" premise).
-    let mut s = stage([10.0, 10.0, 10.0, 10.0]);
-    add_secondary(&mut s, 0, 10.0);
-    out.push(apply_expected(&mut s, Mechanism::SplitRegion, &config));
-
-    // (e) Switch Primary with Neighbor's Secondary: hot full region with
-    // weak peers (1 primary, 0.5 secondary — too weak to split between);
-    // every neighbor primary is equally weak (so (b) has no candidate)
-    // but one neighbor holds a strong secondary (100).
-    let mut s = stage([1.0, 1.0, 1.0, 1.0]);
-    add_secondary(&mut s, 0, 0.5);
-    add_secondary(&mut s, 1, 100.0);
-    out.push(apply_expected(
-        &mut s,
-        Mechanism::SwitchPrimaryWithSecondary,
-        &config,
-    ));
-
-    // (f) Steal Remote Secondary: the overloaded region is half-full; all
-    // primaries are equal (no local switch target) and the only strong
-    // secondary sits in the diagonal quadrant — 2 hops away, reachable
-    // only through the TTL search.
-    let mut s = stage([1.0, 1.0, 1.0, 1.0]);
-    add_secondary(&mut s, 3, 100.0);
-    out.push(apply_expected(
-        &mut s,
-        Mechanism::StealRemoteSecondary,
-        &remote_config,
-    ));
-
-    // (g) Switch Primary with Remote Secondary: hot full region with weak
-    // peers; the strong secondary is remote (diagonal).
-    let mut s = stage([1.0, 1.0, 1.0, 1.0]);
-    add_secondary(&mut s, 0, 0.5);
-    add_secondary(&mut s, 3, 100.0);
-    out.push(apply_expected(
-        &mut s,
-        Mechanism::SwitchPrimaryWithRemoteSecondary,
-        &remote_config,
-    ));
-
-    // (h) Switch Primary with Remote Primary: hot full region with weak
-    // peers; the only strong node is the diagonal *primary*; no
-    // secondaries exist anywhere else.
-    let mut s = stage([1.0, 1.0, 1.0, 100.0]);
-    add_secondary(&mut s, 0, 0.5);
-    out.push(apply_expected(
-        &mut s,
-        Mechanism::SwitchPrimaryWithRemotePrimary,
-        &remote_config,
-    ));
-
-    out
+/// Builds and applies all eight vignettes (in parallel — each stages its
+/// own private topology; results come back in (a)–(h) order).
+pub fn run_all() -> Vec<Vignette> {
+    par_trials(8, vignette)
 }
 
 /// Runs the vignettes and emits `fig4_mechanisms.csv`.

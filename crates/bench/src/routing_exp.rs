@@ -13,6 +13,7 @@ use geogrid_core::RegionId;
 use geogrid_metrics::{gini, table::Table, Summary};
 
 use crate::common::{build_network, ExperimentConfig};
+use crate::par::par_trials;
 
 /// Populations swept.
 pub const POPULATIONS: [usize; 7] = [256, 512, 1_024, 2_048, 4_096, 8_192, 16_384];
@@ -55,13 +56,12 @@ pub fn run(config: &ExperimentConfig) -> Vec<HopRow> {
 
 /// Runs the sweep over custom populations.
 pub fn run_with_populations(config: &ExperimentConfig, populations: &[usize]) -> Vec<HopRow> {
-    let rows: Vec<HopRow> = populations
-        .iter()
-        .map(|&n| {
-            eprintln!("routing: population {n}...");
-            run_population(config, n)
-        })
-        .collect();
+    eprintln!("routing: populations {populations:?}...");
+    // Parallel across populations (each seeds its own RNG by size); rows
+    // come back in population order, so the table matches the serial run.
+    let rows: Vec<HopRow> = par_trials(populations.len(), |i| {
+        run_population(config, populations[i])
+    });
     let mut table = Table::new([
         "nodes",
         "mean_hops",

@@ -586,7 +586,7 @@ mod tests {
             Point::new(5.0, 50.0),
             Point::new(50.0, 50.0),
         ] {
-            t.locate_scan(p).unwrap();
+            t.locate(p).unwrap();
         }
     }
 

@@ -49,25 +49,20 @@ pub fn next_hop(
     if entry.covers(target, topo.space()) {
         return None;
     }
+    // Compute each neighbor's sort key once up front; a comparator that
+    // recomputes both sides' distances evaluates each key about twice, and
+    // the center distance (with its sqrt) is the expensive part.
     entry
         .neighbors()
         .iter()
         .copied()
         .filter(|n| !visited.contains(n))
-        .min_by(|&a, &b| {
-            let ra = topo.region(a).expect("live neighbor").region();
-            let rb = topo.region(b).expect("live neighbor").region();
-            let da = ra.distance_to_point(target);
-            let db = rb.distance_to_point(target);
-            da.partial_cmp(&db)
-                .expect("finite distances")
-                .then_with(|| {
-                    let ca = ra.center().distance(target);
-                    let cb = rb.center().distance(target);
-                    ca.partial_cmp(&cb).expect("finite distances")
-                })
-                .then_with(|| a.cmp(&b))
+        .map(|n| {
+            let r = topo.region(n).expect("live neighbor").region();
+            (r.distance_to_point(target), r.center().distance(target), n)
         })
+        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .map(|(_, _, n)| n)
 }
 
 /// All neighbors of `current` tied (within `slack`, relative) for the
@@ -155,7 +150,7 @@ pub fn route_randomized<R: rand::Rng + ?Sized>(
             });
         }
         if hops.len() > budget {
-            let executor = topo.locate_scan(target)?;
+            let executor = topo.locate(target)?;
             hops.push(executor);
             return Ok(RoutePath { executor, hops });
         }
@@ -172,7 +167,7 @@ pub fn route_randomized<R: rand::Rng + ?Sized>(
                 current = next;
             }
             None => {
-                let executor = topo.locate_scan(target)?;
+                let executor = topo.locate(target)?;
                 hops.push(executor);
                 return Ok(RoutePath { executor, hops });
             }
@@ -221,7 +216,7 @@ pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath
         if hops.len() > budget {
             // Degenerate topology (should not happen on a valid partition):
             // answer via scan so callers still make progress.
-            let executor = topo.locate_scan(target)?;
+            let executor = topo.locate(target)?;
             hops.push(executor);
             return Ok(RoutePath { executor, hops });
         }
@@ -232,7 +227,7 @@ pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath
                 current = next;
             }
             None => {
-                let executor = topo.locate_scan(target)?;
+                let executor = topo.locate(target)?;
                 hops.push(executor);
                 return Ok(RoutePath { executor, hops });
             }

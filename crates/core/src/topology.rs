@@ -79,6 +79,101 @@ impl RegionEntry {
     }
 }
 
+/// Cells per axis of the [`GridIndex`]. 128×128 keeps the expected bucket
+/// occupancy at one region even for the largest evaluated networks (2¹⁴
+/// regions) while the whole index stays a few hundred kilobytes.
+const GRID_DIM: usize = 128;
+
+/// Incrementally-maintained uniform-grid spatial index over the live
+/// regions.
+///
+/// The space is bucketed into [`GRID_DIM`]² equal cells; each cell lists
+/// every region whose **closed** rectangle overlaps it. Insertion uses the
+/// closed rectangle `[x, east] × [y, north]` so that any point a region can
+/// cover — under the half-open rule, the `EDGE_EPS`-exact shared edges, or
+/// the space-boundary closure of [`Space::region_covers`] — falls in a cell
+/// that lists the region (floor is monotone, so `p.x ∈ [x, east]` implies
+/// `col(p) ∈ [col(x), col(east)]`).
+///
+/// The index is kept exact through every mutation path: region geometry
+/// only ever changes in [`Topology::bootstrap`], [`Topology::split_region`]
+/// and [`Topology::merge_regions`] (ownership swaps move nodes, not
+/// rectangles), and each of those updates the affected cells in place.
+/// [`Topology::validate`] re-derives the expected cell span of every live
+/// region and fails on any stale or missing entry.
+#[derive(Debug, Clone, Default)]
+struct GridIndex {
+    origin_x: f64,
+    origin_y: f64,
+    cell_w: f64,
+    cell_h: f64,
+    /// Row-major `GRID_DIM × GRID_DIM` buckets; empty until the topology
+    /// is given a space.
+    cells: Vec<Vec<RegionId>>,
+}
+
+impl GridIndex {
+    fn new(space: Space) -> Self {
+        let b = space.bounds();
+        Self {
+            origin_x: b.x(),
+            origin_y: b.y(),
+            cell_w: b.width() / GRID_DIM as f64,
+            cell_h: b.height() / GRID_DIM as f64,
+            cells: vec![Vec::new(); GRID_DIM * GRID_DIM],
+        }
+    }
+
+    /// Column of `x`, clamped into range (`as usize` saturates below zero).
+    fn col(&self, x: f64) -> usize {
+        (((x - self.origin_x) / self.cell_w) as usize).min(GRID_DIM - 1)
+    }
+
+    fn row(&self, y: f64) -> usize {
+        (((y - self.origin_y) / self.cell_h) as usize).min(GRID_DIM - 1)
+    }
+
+    /// Inclusive `(col_lo, col_hi, row_lo, row_hi)` span of the closed
+    /// rectangle of `r`.
+    fn span(&self, r: &Region) -> (usize, usize, usize, usize) {
+        (
+            self.col(r.x()),
+            self.col(r.east()),
+            self.row(r.y()),
+            self.row(r.north()),
+        )
+    }
+
+    fn insert(&mut self, rid: RegionId, r: &Region) {
+        let (c0, c1, r0, r1) = self.span(r);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                self.cells[row * GRID_DIM + col].push(rid);
+            }
+        }
+    }
+
+    fn remove(&mut self, rid: RegionId, r: &Region) {
+        let (c0, c1, r0, r1) = self.span(r);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let cell = &mut self.cells[row * GRID_DIM + col];
+                if let Some(i) = cell.iter().position(|&x| x == rid) {
+                    cell.swap_remove(i);
+                }
+            }
+        }
+    }
+
+    /// Regions whose closed rectangle overlaps the cell containing `p`.
+    fn candidates(&self, p: Point) -> &[RegionId] {
+        if self.cells.is_empty() {
+            return &[];
+        }
+        &self.cells[self.row(p.y) * GRID_DIM + self.col(p.x)]
+    }
+}
+
 /// The authoritative GeoGrid network model.
 ///
 /// See the [module docs](self) for an overview and the
@@ -92,6 +187,7 @@ pub struct Topology {
     assignments: HashMap<NodeId, (RegionId, Role)>,
     next_node: u64,
     region_count: usize,
+    grid: GridIndex,
 }
 
 impl Topology {
@@ -99,6 +195,7 @@ impl Topology {
     pub fn new(space: Space) -> Self {
         Self {
             space: Some(space),
+            grid: GridIndex::new(space),
             ..Self::default()
         }
     }
@@ -221,6 +318,58 @@ impl Topology {
             .ok_or(CoreError::EmptyNetwork)
     }
 
+    /// The region covering `p`, via the grid spatial index: O(1) amortized
+    /// (one cell lookup; the expected bucket holds a constant number of
+    /// regions in a balanced tiling). Agrees with [`Self::locate_scan`] on
+    /// every point of the space — the index is maintained exactly through
+    /// all mutations.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::OutOfSpace`] if `p` is outside the space, or
+    /// [`CoreError::EmptyNetwork`] if there are no regions.
+    pub fn locate(&self, p: Point) -> Result<RegionId, CoreError> {
+        let space = self.space();
+        if !space.covers(p) {
+            return Err(CoreError::OutOfSpace { x: p.x, y: p.y });
+        }
+        for &rid in self.grid.candidates(p) {
+            let entry = self.slots[rid.index()]
+                .as_ref()
+                .expect("grid index lists only live regions");
+            if entry.covers(p, space) {
+                return Ok(rid);
+            }
+        }
+        Err(CoreError::EmptyNetwork)
+    }
+
+    /// All live regions whose rectangle overlaps `rect` with positive area
+    /// (the [`Region::intersects`] predicate), ascending by id. Uses the
+    /// grid index: only the cells the query rectangle touches are examined.
+    pub fn regions_overlapping(&self, rect: &Region) -> Vec<RegionId> {
+        if self.grid.cells.is_empty() {
+            return Vec::new();
+        }
+        let (c0, c1, r0, r1) = self.grid.span(rect);
+        let mut out: Vec<RegionId> = Vec::new();
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                out.extend_from_slice(&self.grid.cells[row * GRID_DIM + col]);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out.retain(|&rid| {
+            self.slots[rid.index()]
+                .as_ref()
+                .expect("grid index lists only live regions")
+                .region
+                .intersects(rect)
+        });
+        out
+    }
+
     /// Splits `rid` in half along its preferred axis.
     ///
     /// `keep` must be the current primary of `rid`; it retains the half
@@ -280,7 +429,10 @@ impl Topology {
             };
 
         let old_neighbors = self.entry(rid)?.neighbors.clone();
-        // Rewrite the kept slot.
+        // Rewrite the kept slot (and its grid cells: the kept half covers a
+        // subset of the old rectangle's cells).
+        self.grid.remove(rid, &old_region);
+        self.grid.insert(rid, &kept_half);
         {
             let entry = self.entry_mut(rid)?;
             entry.region = kept_half;
@@ -382,6 +534,10 @@ impl Topology {
                 displaced.push(*owner);
             }
         }
+        // `a` grows to the merged rectangle; `b`'s cells are cleared by
+        // `free_slot` below.
+        self.grid.remove(a, &ra);
+        self.grid.insert(a, &merged);
         {
             let entry = self.entry_mut(a)?;
             entry.region = merged;
@@ -553,12 +709,20 @@ impl Topology {
     }
 
     /// Checks every structural invariant; returns a description of the
-    /// first violation. O(regions²) — test/diagnostic use.
+    /// first violation. Test/diagnostic use.
     ///
     /// Invariants: regions tile the space exactly (areas sum, pairwise
     /// non-overlap); neighbor lists match edge contact exactly and are
     /// symmetric; owner assignments are mutually consistent; no node owns
-    /// two slots.
+    /// two slots; the grid spatial index lists every live region in exactly
+    /// the cells its closed rectangle spans.
+    ///
+    /// Pairwise checks run per grid bucket rather than over all region
+    /// pairs: two regions that overlap or share an edge necessarily share a
+    /// grid cell (their closed rectangles intersect), so bucket-local
+    /// checking loses nothing while cutting the cost from O(regions²) to
+    /// O(cells · occupancy²). Spurious neighbor-list entries (listed but
+    /// not touching) are caught by walking each region's list directly.
     pub fn validate(&self) -> Result<(), String> {
         let space = self.space();
         let mut area = 0.0;
@@ -594,18 +758,69 @@ impl Topology {
                 space.bounds().area()
             ));
         }
-        for (i, (rid_a, a)) in all.iter().enumerate() {
-            for (rid_b, b) in all.iter().skip(i + 1) {
-                if a.region.intersects(&b.region) {
-                    return Err(format!("{rid_a} and {rid_b} overlap"));
+        // Grid-index exactness, both directions: every live region sits in
+        // every cell of its recomputed span, and every cell entry is a live
+        // region whose span covers that cell (no stale ids, no duplicates).
+        for (rid, e) in &all {
+            let (c0, c1, r0, r1) = self.grid.span(&e.region);
+            for row in r0..=r1 {
+                for col in c0..=c1 {
+                    if !self.grid.cells[row * GRID_DIM + col].contains(rid) {
+                        return Err(format!("{rid} missing from grid cell ({col},{row})"));
+                    }
                 }
-                let touching = a.region.touches_edge(&b.region);
-                let a_lists_b = a.neighbors.contains(rid_b);
-                let b_lists_a = b.neighbors.contains(rid_a);
-                if touching != a_lists_b || touching != b_lists_a {
+            }
+        }
+        for (i, cell) in self.grid.cells.iter().enumerate() {
+            let (col, row) = (i % GRID_DIM, i / GRID_DIM);
+            for (j, rid) in cell.iter().enumerate() {
+                let Some(e) = self.region(*rid) else {
+                    return Err(format!("grid cell ({col},{row}) lists dead region {rid}"));
+                };
+                let (c0, c1, r0, r1) = self.grid.span(&e.region);
+                if !(c0..=c1).contains(&col) || !(r0..=r1).contains(&row) {
                     return Err(format!(
-                        "{rid_a}/{rid_b}: touching={touching} lists=({a_lists_b},{b_lists_a})"
+                        "grid cell ({col},{row}) lists {rid} outside its span"
                     ));
+                }
+                if cell[..j].contains(rid) {
+                    return Err(format!("grid cell ({col},{row}) lists {rid} twice"));
+                }
+            }
+        }
+        // Pairwise overlap/adjacency, bucket-locally (see the doc comment:
+        // any overlapping or touching pair shares a cell).
+        for cell in &self.grid.cells {
+            for (i, &rid_a) in cell.iter().enumerate() {
+                let a = self.region(rid_a).expect("checked above");
+                for &rid_b in &cell[i + 1..] {
+                    let b = self.region(rid_b).expect("checked above");
+                    if a.region.intersects(&b.region) {
+                        return Err(format!("{rid_a} and {rid_b} overlap"));
+                    }
+                    let touching = a.region.touches_edge(&b.region);
+                    let a_lists_b = a.neighbors.contains(&rid_b);
+                    let b_lists_a = b.neighbors.contains(&rid_a);
+                    if touching != a_lists_b || touching != b_lists_a {
+                        return Err(format!(
+                            "{rid_a}/{rid_b}: touching={touching} lists=({a_lists_b},{b_lists_a})"
+                        ));
+                    }
+                }
+            }
+        }
+        // Neighbor lists can also be wrong about far-apart regions (which
+        // never share a bucket): verify every listed neighbor directly.
+        for (rid, e) in &all {
+            for (j, n) in e.neighbors.iter().enumerate() {
+                let Some(ne) = self.region(*n) else {
+                    return Err(format!("{rid} lists dead neighbor {n}"));
+                };
+                if !e.region.touches_edge(&ne.region) {
+                    return Err(format!("{rid} lists non-touching neighbor {n}"));
+                }
+                if e.neighbors[..j].contains(n) {
+                    return Err(format!("{rid} lists neighbor {n} twice"));
                 }
             }
         }
@@ -647,17 +862,21 @@ impl Topology {
 
     fn alloc_slot(&mut self, entry: RegionEntry) -> RegionId {
         self.region_count += 1;
-        if let Some(i) = self.free.pop() {
+        let region = entry.region;
+        let rid = if let Some(i) = self.free.pop() {
             self.slots[i as usize] = Some(entry);
             RegionId::new(i)
         } else {
             self.slots.push(Some(entry));
             RegionId::new((self.slots.len() - 1) as u32)
-        }
+        };
+        self.grid.insert(rid, &region);
+        rid
     }
 
     fn free_slot(&mut self, rid: RegionId) {
-        if self.slots[rid.index()].take().is_some() {
+        if let Some(entry) = self.slots[rid.index()].take() {
+            self.grid.remove(rid, &entry.region);
             self.region_count -= 1;
             self.free.push(rid.as_u32());
         }
@@ -886,6 +1105,105 @@ mod tests {
             t.locate_scan(Point::new(-1.0, 0.0)),
             Err(CoreError::OutOfSpace { .. })
         ));
+    }
+
+    #[test]
+    fn locate_agrees_with_scan_through_splits_and_merges() {
+        let (mut t, _, _) = boot();
+        let mut x = 3.9_f64;
+        let mut y = 27.5_f64;
+        for i in 0..40 {
+            x = (x * 29.1 + i as f64).rem_euclid(64.0);
+            y = (y * 13.7 + 1.0 + i as f64).rem_euclid(64.0);
+            let p = Point::new(x.max(0.01), y.max(0.01));
+            let j = t.register_node(p, 10.0);
+            let rid = t.locate(p).unwrap();
+            assert_eq!(rid, t.locate_scan(p).unwrap());
+            let primary = t.region(rid).unwrap().primary();
+            t.split_region(rid, primary, j).unwrap();
+        }
+        // Merge a few sibling pairs back, then re-check agreement on a
+        // probe lattice (including space edges and corners).
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let mut merges = 0;
+        'outer: for &a in &ids {
+            for &b in &ids {
+                if a == b || t.region(a).is_none() || t.region(b).is_none() {
+                    continue;
+                }
+                let (ra, rb) = (t.region(a).unwrap(), t.region(b).unwrap());
+                if ra.region().merge(&rb.region()).is_some() {
+                    let p = ra.primary();
+                    if t.merge_regions(a, b, p, None).is_ok() {
+                        merges += 1;
+                        if merges == 5 {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(merges > 0, "expected at least one mergeable sibling pair");
+        t.validate().unwrap();
+        for ix in 0..=16 {
+            for iy in 0..=16 {
+                let p = Point::new(ix as f64 * 4.0, iy as f64 * 4.0);
+                assert_eq!(t.locate(p).unwrap(), t.locate_scan(p).unwrap(), "at {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn regions_overlapping_matches_brute_force() {
+        let (mut t, _, _) = boot();
+        let mut x = 11.2_f64;
+        let mut y = 47.9_f64;
+        for i in 0..30 {
+            x = (x * 23.3 + i as f64).rem_euclid(64.0);
+            y = (y * 19.1 + 1.0 + i as f64).rem_euclid(64.0);
+            let p = Point::new(x.max(0.01), y.max(0.01));
+            let j = t.register_node(p, 10.0);
+            let rid = t.locate(p).unwrap();
+            let primary = t.region(rid).unwrap().primary();
+            t.split_region(rid, primary, j).unwrap();
+        }
+        for rect in [
+            Region::new(0.0, 0.0, 64.0, 64.0),
+            Region::new(10.0, 10.0, 20.0, 5.0),
+            Region::new(63.0, 63.0, 1.0, 1.0),
+            Region::new(16.0, 16.0, 1e-12, 1e-12), // sub-epsilon: overlaps nothing
+            Region::new(31.9, 0.0, 0.2, 64.0),     // thin column across a seam
+        ] {
+            let got = t.regions_overlapping(&rect);
+            let expected: Vec<RegionId> = t
+                .regions()
+                .filter(|(_, e)| e.region().intersects(&rect))
+                .map(|(rid, _)| rid)
+                .collect();
+            assert_eq!(got, expected, "query {rect:?}");
+        }
+    }
+
+    #[test]
+    fn locate_on_empty_and_out_of_space() {
+        let t = Topology::new(space());
+        assert!(matches!(
+            t.locate(Point::new(1.0, 1.0)),
+            Err(CoreError::EmptyNetwork)
+        ));
+        let (t, _, _) = boot();
+        assert!(matches!(
+            t.locate(Point::new(-0.5, 3.0)),
+            Err(CoreError::OutOfSpace { .. })
+        ));
+        assert_eq!(
+            t.locate(Point::new(0.0, 0.0)).unwrap(),
+            t.first_region().unwrap()
+        );
+        assert_eq!(
+            t.locate(Point::new(64.0, 64.0)).unwrap(),
+            t.first_region().unwrap()
+        );
     }
 
     #[test]

@@ -1,4 +1,7 @@
 //! End-to-end tests: real GeoGrid nodes on localhost TCP.
+//!
+//! Requires the `live` feature (tokio runtime); see crates/transport/Cargo.toml.
+#![cfg(feature = "live")]
 
 use std::time::Duration;
 
