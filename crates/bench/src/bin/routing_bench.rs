@@ -1,0 +1,140 @@
+//! Machine-readable routing baseline: cold vs. warm-cache ns/route on a
+//! hot-spot workload, written to `BENCH_routing.json`.
+//!
+//! Regenerate with exactly one command (from the repo root):
+//!
+//! ```text
+//! cargo run --release -p geogrid-bench --bin routing_bench
+//! ```
+//!
+//! *Cold* routes through `routing::route_uncached` (per-query `HashSet`
+//! and `Vec`s, nothing shared between queries); *warm* routes the same
+//! query stream through `routing::route_into` with one persistent
+//! `RouteScratch`, so next hops toward the hot cell come from the
+//! epoch-validated cache. Both walk identical paths (the engine is
+//! verified hop-for-hop against the reference), so the ratio isolates
+//! the engine overhead.
+
+use std::time::Instant;
+
+use geogrid_bench::common::build_network;
+use geogrid_bench::ExperimentConfig;
+use geogrid_core::builder::Mode;
+use geogrid_core::routing::{self, RouteScratch};
+use geogrid_core::RegionId;
+use geogrid_geometry::Point;
+
+/// Network sizes swept (basic mode: regions == nodes).
+const SIZES: [usize; 3] = [1_024, 4_096, 16_384];
+
+/// Routed queries measured per size.
+const ROUTES: usize = 20_000;
+
+/// Fixed hot points in the hot-spot square.
+const HOT_POINTS: u64 = 64;
+
+/// Hot-spot query stream (paper §4): 80% of queries target one of
+/// [`HOT_POINTS`] fixed places inside a 2-mile square — location queries
+/// name concrete destinations ("the traffic around Exit 89"), so the hot
+/// stream repeats exact coordinates — and the rest probe uniform points
+/// over the plane. Weyl sequences keep the stream deterministic.
+fn hotspot_target(i: u64) -> Point {
+    if i.is_multiple_of(5) {
+        let u = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
+        let v = (i.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 11) as f64 / (1u64 << 53) as f64;
+        Point::new(u * 64.0, v * 64.0)
+    } else {
+        let k = i.wrapping_mul(0xD1B5_4A32_D192_ED03) % HOT_POINTS + 1;
+        let u = (k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64;
+        let v = (k.wrapping_mul(0xD1B5_4A32_D192_ED03) >> 11) as f64 / (1u64 << 53) as f64;
+        Point::new(46.0 + 2.0 * u, 46.0 + 2.0 * v)
+    }
+}
+
+struct Row {
+    regions: usize,
+    cold_ns_per_route: f64,
+    warm_ns_per_route: f64,
+    hops_mean: f64,
+    cache_hit_rate: f64,
+}
+
+fn measure(config: &ExperimentConfig, n: usize) -> Row {
+    eprintln!("routing_bench: building {n}-region network...");
+    let topo = build_network(config, Mode::Basic, n, 0);
+    let sources: Vec<RegionId> = topo.region_ids().collect();
+    let pair = |i: u64| {
+        (
+            sources[(i as usize).wrapping_mul(7) % sources.len()],
+            hotspot_target(i),
+        )
+    };
+
+    // Cold: the allocating reference, nothing carried between queries.
+    let start = Instant::now();
+    let mut cold_hops = 0usize;
+    for i in 1..=ROUTES as u64 {
+        let (from, target) = pair(i);
+        cold_hops += routing::route_uncached(&topo, from, target)
+            .expect("routable")
+            .hop_count();
+    }
+    let cold_ns = start.elapsed().as_nanos() as f64 / ROUTES as f64;
+
+    // Warm: one scratch for the stream, cache pre-warmed by a full pass.
+    let mut scratch = RouteScratch::new();
+    for i in 1..=ROUTES as u64 {
+        let (from, target) = pair(i);
+        routing::route_into(&topo, from, target, &mut scratch).expect("routable");
+    }
+    scratch.reset_stats();
+    let start = Instant::now();
+    let mut warm_hops = 0usize;
+    for i in 1..=ROUTES as u64 {
+        let (from, target) = pair(i);
+        routing::route_into(&topo, from, target, &mut scratch).expect("routable");
+        warm_hops += scratch.hop_count();
+    }
+    let warm_ns = start.elapsed().as_nanos() as f64 / ROUTES as f64;
+    assert_eq!(cold_hops, warm_hops, "engines must walk identical paths");
+
+    Row {
+        regions: n,
+        cold_ns_per_route: cold_ns,
+        warm_ns_per_route: warm_ns,
+        hops_mean: warm_hops as f64 / ROUTES as f64,
+        cache_hit_rate: scratch.hit_rate(),
+    }
+}
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let rows: Vec<Row> = SIZES.iter().map(|&n| measure(&config, n)).collect();
+
+    println!(
+        "{:>8} {:>14} {:>14} {:>9} {:>10} {:>9}",
+        "regions", "cold_ns/route", "warm_ns/route", "speedup", "hops_mean", "hit_rate"
+    );
+    let mut entries = Vec::new();
+    for r in &rows {
+        let speedup = r.cold_ns_per_route / r.warm_ns_per_route;
+        println!(
+            "{:>8} {:>14.0} {:>14.0} {:>8.1}x {:>10.2} {:>9.3}",
+            r.regions, r.cold_ns_per_route, r.warm_ns_per_route, speedup, r.hops_mean, r.cache_hit_rate
+        );
+        entries.push(format!(
+            "    {{\n      \"regions\": {},\n      \"cold_ns_per_route\": {:.1},\n      \"warm_ns_per_route\": {:.1},\n      \"speedup\": {:.2},\n      \"hops_mean\": {:.3},\n      \"cache_hit_rate\": {:.4}\n    }}",
+            r.regions, r.cold_ns_per_route, r.warm_ns_per_route, speedup, r.hops_mean, r.cache_hit_rate
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"routing\",\n  \"command\": \"cargo run --release -p geogrid-bench --bin routing_bench\",\n  \"workload\": \"hot-spot stream: 80% of queries target one of 64 fixed hot points in a 2-mile square, 20% uniform, {ROUTES} routes per size, basic-mode networks\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_routing.json".to_string());
+    std::fs::write(&path, json).expect("write BENCH_routing.json");
+    println!("-> wrote {path}");
+}

@@ -13,6 +13,12 @@
 //! Reported per crash fraction: how many records are still retrievable
 //! (data survival) and how many probe queries get *any* answer back
 //! (service availability).
+//!
+//! Forwarding inside the simulated engine uses the same greedy next-hop
+//! rule as `geogrid_core::routing` (each node scans its own neighbor
+//! table with precomputed distance keys); fail-over promotions are
+//! ownership changes only, which at the topology level leave the routing
+//! epoch — and therefore any warmed route caches — intact.
 
 use geogrid_core::engine::sim::SimHarness;
 use geogrid_core::engine::{ClientEvent, EngineConfig, EngineMode, Input};

@@ -4,6 +4,12 @@
 //!
 //! Under moving hot spots the paper sees "a few surges on the dashed
 //! lines" — spots relocating mid-convergence — before the system settles.
+//!
+//! Each trial's [`build_network`] routes every join through the
+//! builder's reusable `RouteScratch` (`geogrid_core::routing`); the
+//! per-operation adaptation loop then mutates geometry freely — each
+//! split/merge bumps the topology epoch, so any cached next hops are
+//! dropped rather than served stale.
 
 use geogrid_core::balance::{AdaptationEngine, BalanceConfig};
 use geogrid_core::builder::Mode;

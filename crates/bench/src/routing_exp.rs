@@ -37,10 +37,13 @@ pub fn run_population(config: &ExperimentConfig, nodes: usize) -> HopRow {
     let topo = build_network(config, Mode::Basic, nodes, 0);
     let mut rng = config.rng(22, nodes as u64);
     let pairs = sample_routing_pairs(&topo, &mut rng, SAMPLES);
+    // One scratch for the whole sweep: the 1,000 sampled routes share
+    // buffers and the epoch-validated next-hop cache.
+    let mut scratch = routing::RouteScratch::new();
     let hops = Summary::from_values(pairs.iter().map(|(from, target)| {
-        routing::route(&topo, *from, *target)
-            .expect("route succeeds on valid topology")
-            .hop_count() as f64
+        routing::route_into(&topo, *from, *target, &mut scratch)
+            .expect("route succeeds on valid topology");
+        scratch.hop_count() as f64
     }));
     HopRow {
         nodes,
@@ -97,17 +100,21 @@ pub fn spread_experiment(config: &ExperimentConfig) {
     let mut rng = config.rng(33, 0);
     let pairs = sample_routing_pairs(&topo, &mut rng, 2_000);
     let mut table = Table::new(["strategy", "transit_gini", "mean_hops"]);
+    let mut scratch = routing::RouteScratch::new();
     for (label, slack) in [("greedy", None), ("randomized_25pct", Some(0.25))] {
         let mut transits: HashMap<RegionId, f64> = HashMap::new();
         let mut hops = 0usize;
         for (from, target) in &pairs {
-            let path = match slack {
-                None => routing::route(&topo, *from, *target),
-                Some(s) => routing::route_randomized(&topo, *from, *target, s, &mut rng),
+            match slack {
+                None => routing::route_into(&topo, *from, *target, &mut scratch),
+                Some(s) => {
+                    routing::route_randomized_into(&topo, *from, *target, s, &mut rng, &mut scratch)
+                }
             }
             .expect("routable");
-            hops += path.hop_count();
-            for rid in &path.hops[..path.hops.len().saturating_sub(1)] {
+            hops += scratch.hop_count();
+            let trace = scratch.hops();
+            for rid in &trace[..trace.len().saturating_sub(1)] {
                 *transits.entry(*rid).or_default() += 1.0;
             }
         }

@@ -11,6 +11,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::join::{self, JoinOutcome};
+use crate::routing::RouteScratch;
 use crate::{NodeId, RegionId, Topology};
 
 /// Which join protocol the network uses.
@@ -96,6 +97,7 @@ impl NetworkBuilder {
             placement: self.placement,
             capacities: self.capacities,
             live_regions: vec![root],
+            scratch: RouteScratch::new(),
         };
         for _ in 1..n {
             net.join_one();
@@ -113,6 +115,10 @@ pub struct BuiltNetwork {
     placement: NodePlacement,
     capacities: CapacityProfile,
     live_regions: Vec<RegionId>,
+    /// Routing scratch reused across all joins of this network: the
+    /// thousands of routed join requests a build issues share one set of
+    /// buffers instead of allocating each.
+    scratch: RouteScratch,
 }
 
 impl BuiltNetwork {
@@ -147,8 +153,12 @@ impl BuiltNetwork {
             entry = self.live_regions[self.rng.random_range(0..self.live_regions.len())];
         }
         let (node, outcome) = match self.mode {
-            Mode::Basic => join::join_basic(&mut self.topology, entry, coord, capacity),
-            Mode::DualPeer => join::join_dual(&mut self.topology, entry, coord, capacity),
+            Mode::Basic => {
+                join::join_basic_with(&mut self.topology, entry, coord, capacity, &mut self.scratch)
+            }
+            Mode::DualPeer => {
+                join::join_dual_with(&mut self.topology, entry, coord, capacity, &mut self.scratch)
+            }
         }
         .expect("join over a valid topology");
         if let Some(created) = outcome.created_region() {
@@ -160,6 +170,13 @@ impl BuiltNetwork {
     /// The join protocol in use.
     pub fn mode(&self) -> Mode {
         self.mode
+    }
+
+    /// Consumes the builder state and returns the topology without
+    /// cloning it (experiment harnesses build, then only need the
+    /// topology).
+    pub fn into_topology(self) -> Topology {
+        self.topology
     }
 }
 

@@ -1117,22 +1117,22 @@ impl NodeEngine {
 
     /// Greedy next hop toward `target` from this owner's neighbor table.
     fn greedy_next(owner: &Owner, target: Point) -> Option<NodeId> {
+        // Compute each neighbor's sort key once up front; a comparator
+        // that recomputes both sides' distances evaluates each key about
+        // twice, and the center distance (with its sqrt) is the expensive
+        // part.
         owner
             .neighbors
             .iter()
-            .min_by(|a, b| {
-                let da = a.region.distance_to_point(target);
-                let db = b.region.distance_to_point(target);
-                da.partial_cmp(&db)
-                    .expect("finite")
-                    .then_with(|| {
-                        let ca = a.region.center().distance(target);
-                        let cb = b.region.center().distance(target);
-                        ca.partial_cmp(&cb).expect("finite")
-                    })
-                    .then_with(|| a.primary.id().cmp(&b.primary.id()))
+            .map(|n| {
+                (
+                    n.region.distance_to_point(target),
+                    n.region.center().distance(target),
+                    n.primary.id(),
+                )
             })
-            .map(|n| n.primary.id())
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .map(|(_, _, id)| id)
     }
 
     fn covers(&self, owner: &Owner, p: Point) -> bool {
@@ -1672,14 +1672,9 @@ impl NodeEngine {
             let next = owner
                 .neighbors
                 .iter()
-                .min_by(|a, b| {
-                    let da = a.region.distance_to_point(target);
-                    let db = b.region.distance_to_point(target);
-                    da.partial_cmp(&db)
-                        .expect("finite")
-                        .then_with(|| a.primary.id().cmp(&b.primary.id()))
-                })
-                .map(|n| n.primary.id());
+                .map(|n| (n.region.distance_to_point(target), n.primary.id()))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+                .map(|(_, id)| id);
             return match next {
                 Some(next) => vec![Effect::Send {
                     to: next,
@@ -1758,14 +1753,9 @@ impl NodeEngine {
             let next = owner
                 .neighbors
                 .iter()
-                .min_by(|a, b| {
-                    let da = a.region.distance_to_point(target);
-                    let db = b.region.distance_to_point(target);
-                    da.partial_cmp(&db)
-                        .expect("finite")
-                        .then_with(|| a.primary.id().cmp(&b.primary.id()))
-                })
-                .map(|n| n.primary.id());
+                .map(|n| (n.region.distance_to_point(target), n.primary.id()))
+                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+                .map(|(_, id)| id);
             return match next {
                 Some(next) => vec![Effect::Send {
                     to: next,

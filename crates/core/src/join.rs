@@ -130,8 +130,24 @@ pub fn join_basic(
     coord: Point,
     capacity: f64,
 ) -> Result<(NodeId, JoinOutcome), CoreError> {
-    let path = routing::route(topo, entry, coord)?;
-    let mut rid = path.executor;
+    routing::with_thread_scratch(|scratch| join_basic_with(topo, entry, coord, capacity, scratch))
+}
+
+/// [`join_basic`] with a caller-provided routing scratch: repeated joins
+/// (network builds) reuse its buffers and next-hop cache instead of
+/// allocating per join.
+///
+/// # Errors
+///
+/// Same conditions as [`join_basic`].
+pub fn join_basic_with(
+    topo: &mut Topology,
+    entry: RegionId,
+    coord: Point,
+    capacity: f64,
+    scratch: &mut routing::RouteScratch,
+) -> Result<(NodeId, JoinOutcome), CoreError> {
+    let mut rid = routing::route_into(topo, entry, coord, scratch)?;
     // Respect the extent floor: if the covering region is already minimal,
     // split the nearest splittable region instead (the geographic
     // association is intentionally breakable, §2.4).
@@ -165,8 +181,23 @@ pub fn join_dual(
     coord: Point,
     capacity: f64,
 ) -> Result<(NodeId, JoinOutcome), CoreError> {
-    let path = routing::route(topo, entry, coord)?;
-    let rid = path.executor;
+    routing::with_thread_scratch(|scratch| join_dual_with(topo, entry, coord, capacity, scratch))
+}
+
+/// [`join_dual`] with a caller-provided routing scratch (see
+/// [`join_basic_with`]).
+///
+/// # Errors
+///
+/// Same conditions as [`join_basic`].
+pub fn join_dual_with(
+    topo: &mut Topology,
+    entry: RegionId,
+    coord: Point,
+    capacity: f64,
+    scratch: &mut routing::RouteScratch,
+) -> Result<(NodeId, JoinOutcome), CoreError> {
+    let rid = routing::route_into(topo, entry, coord, scratch)?;
 
     // Candidate set: the covering region and its neighbors.
     let mut candidates = vec![rid];

@@ -103,13 +103,18 @@ impl LoadMap {
         let ids: Vec<RegionId> = topo.region_ids().collect();
         let mut generator = QueryGenerator::new(topo.space()).hotspot_bias(bias);
         let per_query = 1.0 / samples as f64;
+        // One scratch for the whole sample batch: hot-spot-biased targets
+        // hit the next-hop cache heavily, and no per-query buffers are
+        // allocated.
+        let mut scratch = routing::RouteScratch::new();
         for _ in 0..samples {
             let q = generator.generate(rng, field);
             let from = ids[rng.random_range(0..ids.len())];
-            if let Ok(path) = routing::route(topo, from, q.target) {
+            if routing::route_into(topo, from, q.target, &mut scratch).is_ok() {
                 // Transit regions do forwarding work; the executor's query
                 // work is already in the grid component.
-                for &rid in &path.hops[..path.hops.len().saturating_sub(1)] {
+                let hops = scratch.hops();
+                for &rid in &hops[..hops.len().saturating_sub(1)] {
                     map.loads.entry(rid).or_default().routing += per_query;
                 }
             }

@@ -9,11 +9,65 @@
 //! After the *executor* region (the one covering the query center) is
 //! reached, a query whose rectangle spans several regions fans out to every
 //! region overlapping the rectangle ([`fanout`]).
+//!
+//! # The routing engine
+//!
+//! Experiments issue millions of routed queries, and the paper's workloads
+//! concentrate most of them on a few hot-spot cells — so the hot path must
+//! neither allocate per query nor recompute what the previous query toward
+//! the same destination already learned. [`RouteScratch`] packages the
+//! reusable state:
+//!
+//! * a **generation-stamped visited array** indexed by region slot
+//!   ([`RegionId::index`]) replaces the per-query `HashSet` — marking a
+//!   region visited is one store, clearing all marks is one counter bump;
+//! * the hop and candidate `Vec`s are recycled across queries;
+//! * a **two-tier next-hop cache** of dense per-slot `u32` slabs, so a
+//!   warm hop costs two array loads and no hashing. The L1 tier promotes
+//!   *exact destinations* that recur (location queries name concrete
+//!   places, so hot streams repeat exact coordinates) and memoizes each
+//!   source slot's greedy argmin for that point. The L2 tier promotes
+//!   *destination grid cells* and caches, per source slot, the neighbor
+//!   that is the greedy choice for **every** target in the cell. Both
+//!   tiers are capped, so pure-uniform traffic beyond the caps bypasses
+//!   the cache machinery entirely, and both are validated against the
+//!   topology's `(instance_id, epoch)` pair: any split/merge/bootstrap
+//!   bumps the epoch ([`Topology::epoch`]) and flushes them, while
+//!   ownership churn (fail-over, swaps) keeps them warm.
+//!
+//! The cell-granular entries stay hop-for-hop exact through interval
+//! arithmetic rather than memoized answers (the greedy argmin depends on
+//! the exact target point, which varies within a cell): when a slab entry
+//! is first derived, the full scan also computes, per neighbor, a lower
+//! bound (rectangle to cell-rectangle distance,
+//! [`Region::distance_to_region`]) and an upper bound (max over the
+//! cell's corners — the distance is convex in the target, so its max over
+//! the cell is at a corner) of its distance to every possible target in
+//! the cell. A neighbor whose lower bound exceeds the smallest upper
+//! bound is *strictly* farther than some other neighbor for every target
+//! in the cell, so it can never be (or tie) the greedy argmin. When
+//! exactly one neighbor survives this filter it is the argmin for every
+//! target in the cell — only then is it cached; otherwise the entry is
+//! marked scan-always and the engine keeps doing full scans there, so the
+//! cached answer reproduces the full scan's `(closest-point distance,
+//! center distance, id)` minimum bit for bit. If the cached neighbor was
+//! already visited this query, the engine falls back to a full unvisited
+//! scan, again matching the reference. [`route_uncached`] keeps the
+//! original allocating implementation as that reference, and a property
+//! test drives both through random topology mutations to prove the
+//! equivalence.
+//!
+//! [`route`] and [`route_randomized`] remain as thin wrappers over a
+//! thread-local scratch, so every existing caller gets the engine for
+//! free; batch callers hold their own [`RouteScratch`] and use
+//! [`route_into`] / [`route_randomized_into`].
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 
 use geogrid_geometry::{Point, Region};
 
+use crate::topology::RegionEntry;
 use crate::{CoreError, RegionId, Topology};
 
 /// The result of routing a request to its executor region.
@@ -30,6 +84,301 @@ impl RoutePath {
     /// Number of forwarding steps taken.
     pub fn hop_count(&self) -> usize {
         self.hops.len().saturating_sub(1)
+    }
+}
+
+/// Upper bound on promoted destination cells. Bounds cache memory under
+/// uniform traffic (cells beyond the cap bypass the cache and just use
+/// the scratch buffers); hot-spot streams promote their few hot cells
+/// long before the cap fills.
+const ROUTE_CACHE_MAX_CELLS: usize = 64;
+
+/// Upper bound on promoted exact destinations (the L1 tier).
+const ROUTE_CACHE_MAX_TARGETS: usize = 64;
+
+/// Open-addressed slots in the target-recurrence table (power of two).
+const TARGET_TABLE_SLOTS: usize = 512;
+
+/// Linear probes before the table gives up on a destination.
+const TARGET_TABLE_PROBES: usize = 8;
+
+/// Cell-table entry: this grid cell has no slab yet.
+const ENTRY_EMPTY: u32 = u32::MAX;
+
+/// Slab entry: not yet derived for this `(destination, slot)`.
+const SLOT_EMPTY: u16 = u16::MAX;
+
+/// Slab entry: nothing cacheable from this slot (no single neighbor
+/// dominates the whole cell, or no neighbors at all) — full scan.
+const SLOT_SCAN: u16 = u16::MAX - 1;
+
+/// Largest slot table the dense tiers index: slab entries are `u16` so
+/// the whole hot working set stays cache-resident, which caps the slot
+/// space at the sentinel values. Beyond this (a >65k-region network —
+/// 4× the largest evaluated size) routing still works, just uncached.
+const ROUTE_CACHE_MAX_SLOTS: usize = SLOT_SCAN as usize;
+
+/// Target-table state: slot is free.
+const TSTATE_EMPTY: u32 = u32::MAX;
+
+/// Target-table state: destination seen once, not yet worth a slab.
+const TSTATE_SEEN: u32 = u32::MAX - 1;
+
+/// One slot of the target-recurrence table: an exact destination (bit
+/// patterns of its coordinates) and either a `TSTATE_*` marker or the
+/// index of its promoted slab in `target_slabs`.
+#[derive(Debug, Clone, Copy)]
+struct TargetSlot {
+    x: u64,
+    y: u64,
+    state: u32,
+}
+
+const EMPTY_TARGET_SLOT: TargetSlot = TargetSlot {
+    x: 0,
+    y: 0,
+    state: TSTATE_EMPTY,
+};
+
+/// The two-tier next-hop cache: direct-indexed dense slabs instead of a
+/// hash map, so a warm hop costs two array loads and the working set for
+/// one hot destination is one contiguous `2 × slot_count`-byte array
+/// (see the [module docs](self) for the exactness argument).
+///
+/// * **L1 — exact destinations.** Location queries name concrete places,
+///   so hot streams repeat exact coordinates. A destination seen twice
+///   gets a slab memoizing, per source slot, the greedy argmin for that
+///   exact point — no geometry proof needed, the key is exact.
+/// * **L2 — destination cells.** For spread-out targets, a promoted grid
+///   cell caches per slot the neighbor that provably wins for *every*
+///   point of the cell (interval-arithmetic filter), falling back to a
+///   full scan where no single neighbor dominates.
+#[derive(Debug, Clone, Default)]
+struct RouteCache {
+    /// Grid cell → index into `cell_slabs`; `ENTRY_EMPTY` if unpromoted.
+    cell_slab: Vec<u32>,
+    /// Per promoted cell: source slot → cell-dominant neighbor's raw id,
+    /// or one of the `SLOT_*` sentinels.
+    cell_slabs: Vec<Vec<u16>>,
+    /// Lossy open-addressed recurrence tracker for exact destinations.
+    target_table: Vec<TargetSlot>,
+    /// Per promoted exact destination: source slot → that target's greedy
+    /// argmin over all neighbors, or one of the `SLOT_*` sentinels.
+    target_slabs: Vec<Vec<u16>>,
+    /// Per promoted exact destination: the slot whose region covers it
+    /// (`SLOT_EMPTY` until first derived). The covering region is unique
+    /// and epoch-stable, so the hot loop compares slot numbers instead of
+    /// re-testing rectangle containment every hop.
+    target_terminals: Vec<u16>,
+    /// Derived entries across all slabs (for stats).
+    entries: usize,
+}
+
+impl RouteCache {
+    fn flush(&mut self) {
+        self.cell_slabs.clear();
+        self.cell_slab.fill(ENTRY_EMPTY);
+        self.target_slabs.clear();
+        self.target_terminals.clear();
+        self.target_table.fill(EMPTY_TARGET_SLOT);
+        self.entries = 0;
+    }
+
+    /// Slab index for the exact destination `(x, y)` (coordinate bit
+    /// patterns), promoting it on its second sighting. Lossy by design:
+    /// a destination that never recurs costs one table slot, reclaimable
+    /// by any other destination hashing nearby.
+    fn promote_target(&mut self, x: u64, y: u64, slots: usize) -> Option<usize> {
+        let mask = TARGET_TABLE_SLOTS - 1;
+        let mix = (x ^ y.rotate_left(32)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = (mix >> 32) as usize & mask;
+        for i in 0..TARGET_TABLE_PROBES {
+            let idx = (h + i) & mask;
+            let s = self.target_table[idx];
+            if s.state == TSTATE_EMPTY {
+                self.target_table[idx] = TargetSlot {
+                    x,
+                    y,
+                    state: TSTATE_SEEN,
+                };
+                return None;
+            }
+            if s.x == x && s.y == y {
+                return match s.state {
+                    TSTATE_SEEN => {
+                        if self.target_slabs.len() >= ROUTE_CACHE_MAX_TARGETS {
+                            return None;
+                        }
+                        let slab = self.target_slabs.len();
+                        self.target_table[idx].state = slab as u32;
+                        self.target_slabs.push(vec![SLOT_EMPTY; slots]);
+                        self.target_terminals.push(SLOT_EMPTY);
+                        Some(slab)
+                    }
+                    slab => Some(slab as usize),
+                };
+            }
+        }
+        // Every probe hit a foreign destination: recycle a once-seen slot
+        // (never one that backs a promoted slab).
+        for i in 0..TARGET_TABLE_PROBES {
+            let idx = (h + i) & mask;
+            if self.target_table[idx].state == TSTATE_SEEN {
+                self.target_table[idx] = TargetSlot {
+                    x,
+                    y,
+                    state: TSTATE_SEEN,
+                };
+                break;
+            }
+        }
+        None
+    }
+}
+
+/// Reusable routing state: visited stamps, hop/candidate buffers, and the
+/// epoch-invalidated next-hop cache. Create once, pass to [`route_into`]
+/// for every query; see the [module docs](self) for the design.
+///
+/// A scratch may be reused freely across different [`Topology`] instances
+/// — the cache re-keys itself on `(instance_id, epoch)` and flushes
+/// whenever either changes.
+#[derive(Debug, Clone)]
+pub struct RouteScratch {
+    /// `stamps[slot] == generation` ⇔ slot visited in the current query.
+    /// One byte per slot: the whole stamp table for a 16k-region network
+    /// is 16 KiB, so it stays cache-resident; the cheap price is a full
+    /// clear every 255 generations at the `u8` wrap.
+    stamps: Vec<u8>,
+    generation: u8,
+    /// Hop trace of the most recent successful `route_into` /
+    /// `route_randomized_into` call.
+    hops: Vec<RegionId>,
+    /// Recycled candidate buffer for randomized routing.
+    cand: Vec<RegionId>,
+    /// The promoted-cell next-hop slabs.
+    cache: RouteCache,
+    /// The `(instance_id, epoch)` the cache contents are valid for.
+    cache_key: (u64, u64),
+    hits: u64,
+    lookups: u64,
+}
+
+impl Default for RouteScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self {
+            stamps: Vec::new(),
+            generation: 0,
+            hops: Vec::new(),
+            cand: Vec::new(),
+            cache: RouteCache::default(),
+            cache_key: (u64::MAX, u64::MAX),
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// The hop trace of the most recent successful routed query: starts at
+    /// the source, ends at the executor (same contract as
+    /// [`RoutePath::hops`]).
+    pub fn hops(&self) -> &[RegionId] {
+        &self.hops
+    }
+
+    /// Hop count of the most recent successful routed query.
+    pub fn hop_count(&self) -> usize {
+        self.hops.len().saturating_sub(1)
+    }
+
+    /// Derived next-hop entries across all promoted destination cells.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.entries
+    }
+
+    /// Fraction of next-hop decisions served from the cache since the last
+    /// [`Self::reset_stats`]. 0.0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Clears the hit/lookup counters (not the cache).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.lookups = 0;
+    }
+
+    /// Drops every cached next hop (stats and buffers survive).
+    pub fn clear_cache(&mut self) {
+        self.cache.flush();
+        self.cache_key = (u64::MAX, u64::MAX);
+    }
+
+    /// Prepares the scratch for one query against `topo`: re-keys the
+    /// cache, resizes the stamp and cell tables, and starts a fresh
+    /// visited generation.
+    fn begin(&mut self, topo: &Topology) {
+        let key = (topo.instance_id(), topo.epoch());
+        if self.cache_key != key {
+            self.cache.flush();
+            self.cache_key = key;
+        }
+        let cells = topo.grid_cell_count();
+        if self.cache.cell_slab.len() != cells {
+            self.cache.cell_slab = vec![ENTRY_EMPTY; cells];
+        }
+        if self.cache.target_table.is_empty() {
+            self.cache.target_table = vec![EMPTY_TARGET_SLOT; TARGET_TABLE_SLOTS];
+        }
+        let slots = topo.slot_count();
+        if self.stamps.len() < slots {
+            self.stamps.resize(slots, 0);
+        }
+        self.generation = self.generation.wrapping_add(1);
+        if self.generation == 0 {
+            // u8 wrap: old stamps could alias the new generation.
+            self.stamps.fill(0);
+            self.generation = 1;
+        }
+        self.hops.clear();
+    }
+
+    #[inline]
+    fn visit(&mut self, slot: usize) {
+        self.stamps[slot] = self.generation;
+    }
+
+    #[inline]
+    fn visited(&self, slot: usize) -> bool {
+        self.stamps[slot] == self.generation
+    }
+
+    /// Slab index of destination cell `cell`, promoting it (allocating
+    /// its dense per-slot slab) on first use. `None` when the grid is
+    /// uninitialised or the promoted-cell cap is full and `cell` missed
+    /// it — those queries run uncached on the scratch buffers.
+    fn promote_cell(&mut self, cell: usize, slots: usize) -> Option<usize> {
+        let slab = self.cache.cell_slab.get(cell).copied()?;
+        if slab != ENTRY_EMPTY {
+            return Some(slab as usize);
+        }
+        if self.cache.cell_slabs.len() >= ROUTE_CACHE_MAX_CELLS {
+            return None;
+        }
+        let idx = self.cache.cell_slabs.len();
+        self.cache.cell_slab[cell] = idx as u32;
+        self.cache.cell_slabs.push(vec![SLOT_EMPTY; slots]);
+        Some(idx)
     }
 }
 
@@ -65,6 +414,141 @@ pub fn next_hop(
         .map(|(_, _, n)| n)
 }
 
+/// One scan over the neighbors of `entry`, reading the SoA
+/// rectangle/center mirrors: returns the greedy minimum over **all**
+/// neighbors (what the cache stores) and over **unvisited** neighbors
+/// (what this query follows). Orders by the same
+/// `(closest-point distance, center distance, id)` key as [`next_hop`].
+#[inline]
+fn scan_next_hop(
+    topo: &Topology,
+    entry: &RegionEntry,
+    target: Point,
+    scratch: &RouteScratch,
+) -> (Option<RegionId>, Option<RegionId>) {
+    let mut best_all: Option<(f64, f64, RegionId)> = None;
+    let mut best_unvisited: Option<(f64, f64, RegionId)> = None;
+    for &n in entry.neighbors() {
+        let slot = n.index();
+        let key = (
+            topo.slot_rect(slot).distance_to_point(target),
+            topo.slot_center(slot).distance(target),
+            n,
+        );
+        if best_all.is_none_or(|b| key < b) {
+            best_all = Some(key);
+        }
+        if !scratch.visited(slot) && best_unvisited.is_none_or(|b| key < b) {
+            best_unvisited = Some(key);
+        }
+    }
+    (best_all.map(|k| k.2), best_unvisited.map(|k| k.2))
+}
+
+/// The entry-derivation scan: the same full pass as [`scan_next_hop`],
+/// plus the interval bounds that make the entry target-independent. For
+/// each neighbor it takes the minimum (`LB`, rectangle-to-rectangle) and
+/// maximum (`UB`, worst cell corner) possible closest-point distance over
+/// every target in `dest_rect`. A neighbor with `LB > min UB` is strictly
+/// farther than the `UB`-minimizing neighbor for *every* target in the
+/// cell, so it can never be (or tie) the greedy argmin. Returns the slab
+/// entry to store — the sole surviving neighbor's raw id, or
+/// [`SLOT_SCAN`] when no single neighbor dominates the cell — and the
+/// best unvisited neighbor for this query's exact target.
+fn scan_and_filter(
+    topo: &Topology,
+    entry: &RegionEntry,
+    target: Point,
+    dest_rect: &Region,
+    scratch: &RouteScratch,
+) -> (u16, Option<RegionId>) {
+    let corners = [
+        Point::new(dest_rect.x(), dest_rect.y()),
+        Point::new(dest_rect.east(), dest_rect.y()),
+        Point::new(dest_rect.x(), dest_rect.north()),
+        Point::new(dest_rect.east(), dest_rect.north()),
+    ];
+    let mut best_unvisited: Option<(f64, f64, RegionId)> = None;
+    let mut min_ub = f64::INFINITY;
+    for &n in entry.neighbors() {
+        let slot = n.index();
+        let rect = topo.slot_rect(slot);
+        let key = (
+            rect.distance_to_point(target),
+            topo.slot_center(slot).distance(target),
+            n,
+        );
+        if !scratch.visited(slot) && best_unvisited.is_none_or(|b| key < b) {
+            best_unvisited = Some(key);
+        }
+        // Distance-to-target is convex in the target, so its max over
+        // the cell rectangle is attained at a corner.
+        let ub = corners
+            .iter()
+            .map(|&c| rect.distance_to_point(c))
+            .fold(0.0, f64::max);
+        min_ub = min_ub.min(ub);
+    }
+    let mut dominant = None;
+    for &n in entry.neighbors() {
+        if topo.slot_rect(n.index()).distance_to_region(dest_rect) <= min_ub {
+            if dominant.is_some() {
+                return (SLOT_SCAN, best_unvisited.map(|k| k.2));
+            }
+            dominant = Some(n);
+        }
+    }
+    let value = match dominant {
+        Some(n) => {
+            debug_assert!((n.index()) < SLOT_SCAN as usize, "slot collides with sentinel");
+            n.as_u32() as u16
+        }
+        // No neighbors at all: nothing to dominate, nothing to cache.
+        None => SLOT_SCAN,
+    };
+    (value, best_unvisited.map(|k| k.2))
+}
+
+/// Shared fill of the randomized-routing candidate set: all unvisited
+/// neighbors within the `slack`-relative tie window of the best
+/// closest-point distance, ascending by id, written into `out` without
+/// allocating.
+fn candidates_into_filtered(
+    topo: &Topology,
+    entry: &RegionEntry,
+    target: Point,
+    visited: impl Fn(RegionId) -> bool,
+    slack: f64,
+    out: &mut Vec<RegionId>,
+) {
+    out.clear();
+    // Pass 1: best closest-point distance among unvisited neighbors.
+    let mut best = f64::INFINITY;
+    for &n in entry.neighbors() {
+        if visited(n) {
+            continue;
+        }
+        let d = topo.slot_rect(n.index()).distance_to_point(target);
+        if d < best {
+            best = d;
+        }
+    }
+    if best == f64::INFINITY {
+        return;
+    }
+    // Pass 2: keep everything within the tie window.
+    let cutoff = best + slack * best.max(1e-9);
+    for &n in entry.neighbors() {
+        if visited(n) {
+            continue;
+        }
+        if topo.slot_rect(n.index()).distance_to_point(target) <= cutoff {
+            out.push(n);
+        }
+    }
+    out.sort_unstable();
+}
+
 /// All neighbors of `current` tied (within `slack`, relative) for the
 /// best closest-point distance to `target` — the candidate set for the
 /// paper's *randomization of routing entries* (§2.2 lists it among the
@@ -78,42 +562,320 @@ pub fn next_hop_candidates(
     visited: &HashSet<RegionId>,
     slack: f64,
 ) -> Vec<RegionId> {
+    let mut out = Vec::new();
+    next_hop_candidates_into(topo, current, target, visited, slack, &mut out);
+    out
+}
+
+/// Allocation-free form of [`next_hop_candidates`]: one pass finds the
+/// best distance, a second filters the tie window into `out` (cleared
+/// first) — no intermediate `Vec` of `(id, distance)` pairs.
+pub fn next_hop_candidates_into(
+    topo: &Topology,
+    current: RegionId,
+    target: Point,
+    visited: &HashSet<RegionId>,
+    slack: f64,
+    out: &mut Vec<RegionId>,
+) {
+    out.clear();
     let Some(entry) = topo.region(current) else {
-        return Vec::new();
+        return;
     };
     if entry.covers(target, topo.space()) {
-        return Vec::new();
+        return;
     }
-    let candidates: Vec<(RegionId, f64)> = entry
-        .neighbors()
-        .iter()
-        .copied()
-        .filter(|n| !visited.contains(n))
-        .filter_map(|n| {
-            let d = topo.region(n)?.region().distance_to_point(target);
-            Some((n, d))
-        })
-        .collect();
-    let Some(best) = candidates
-        .iter()
-        .map(|&(_, d)| d)
-        .min_by(|a, b| a.partial_cmp(b).expect("finite"))
-    else {
-        return Vec::new();
+    candidates_into_filtered(topo, entry, target, |n| visited.contains(&n), slack, out);
+}
+
+/// Routes from `from` to the region covering `target` using the reusable
+/// `scratch` (see the [module docs](self)): no per-query allocation, and
+/// next hops toward recently routed destination cells come from the
+/// epoch-validated cache. Returns the executor; the hop trace is in
+/// [`RouteScratch::hops`].
+///
+/// Produces exactly the hops of [`route_uncached`] for every input.
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn route_into(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    if !topo.space().covers(target) {
+        return Err(CoreError::OutOfSpace {
+            x: target.x,
+            y: target.y,
+        });
+    }
+    if topo.region(from).is_none() {
+        return Err(CoreError::UnknownRegion(from));
+    }
+    scratch.begin(topo);
+    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let slots = topo.slot_count();
+    let cacheable = slots < ROUTE_CACHE_MAX_SLOTS;
+    // L1: a destination seen before by its exact coordinates gets a slab
+    // of memoized argmins — no geometry proof needed, the key is exact.
+    let l1 = if cacheable {
+        scratch
+            .cache
+            .promote_target(target.x.to_bits(), target.y.to_bits(), slots)
+    } else {
+        None
     };
-    let cutoff = best + slack * best.max(1e-9);
-    let mut out: Vec<RegionId> = candidates
-        .into_iter()
-        .filter(|&(_, d)| d <= cutoff)
-        .map(|(n, _)| n)
-        .collect();
-    out.sort();
-    out
+    // L2: cell entries are only sound for targets inside the cell
+    // rectangle the interval bounds were computed over; grid clamping
+    // maps out-of-range points to edge cells, so re-check containment
+    // instead of trusting the cell number.
+    let l2: Option<(Region, usize)> = if !cacheable || l1.is_some() {
+        None
+    } else {
+        let dest_cell = topo.grid_cell_of(target) as usize;
+        topo.grid_cell_rect(dest_cell as u32)
+            .filter(|r| r.contains_closed(target))
+            .and_then(|rect| scratch.promote_cell(dest_cell, slots).map(|slab| (rect, slab)))
+    };
+    let mut current = from;
+    scratch.hops.push(from);
+    scratch.visit(from.index());
+    loop {
+        let slot = current.index();
+        // Termination. The region covering `target` is unique and stable
+        // within an epoch, so on the L1 path its slot is memoized and the
+        // per-hop region-table load + rectangle test collapse into one
+        // integer compare.
+        let covered = if let Some(slab) = l1 {
+            match scratch.cache.target_terminals[slab] {
+                SLOT_EMPTY => {
+                    let entry = topo
+                        .region(current)
+                        .ok_or(CoreError::UnknownRegion(current))?;
+                    let covered = entry.covers(target, topo.space());
+                    if covered {
+                        scratch.cache.target_terminals[slab] = slot as u16;
+                    }
+                    covered
+                }
+                term => term as usize == slot,
+            }
+        } else {
+            topo.region(current)
+                .ok_or(CoreError::UnknownRegion(current))?
+                .covers(target, topo.space())
+        };
+        if covered {
+            return Ok(current);
+        }
+        if scratch.hops.len() > budget {
+            // Degenerate topology (should not happen on a valid partition):
+            // answer via the spatial index so callers still make progress.
+            let executor = topo.locate(target)?;
+            scratch.hops.push(executor);
+            return Ok(executor);
+        }
+        // A cached neighbor — from either tier — is the greedy argmin
+        // over ALL neighbors (for this exact target in L1, for every
+        // target of the cell in L2); when it is unvisited it is also the
+        // minimum over unvisited neighbors, so following it is exactly
+        // what the uncached scan would do. A visited one falls back to
+        // the full unvisited scan, again matching the reference. The
+        // slow arms re-fetch the region entry themselves so the hot arm
+        // never touches the region table.
+        let next = if let Some(slab) = l1 {
+            scratch.lookups += 1;
+            match scratch.cache.target_slabs[slab][slot] {
+                SLOT_EMPTY => {
+                    let entry = topo
+                        .region(current)
+                        .ok_or(CoreError::UnknownRegion(current))?;
+                    let (best_all, best_unvisited) = scan_next_hop(topo, entry, target, scratch);
+                    scratch.cache.target_slabs[slab][slot] =
+                        best_all.map_or(SLOT_SCAN, |r| r.as_u32() as u16);
+                    scratch.cache.entries += 1;
+                    best_unvisited
+                }
+                raw if raw < SLOT_SCAN && !scratch.visited(raw as usize) => {
+                    scratch.hits += 1;
+                    Some(RegionId::new(raw as u32))
+                }
+                _ => {
+                    let entry = topo
+                        .region(current)
+                        .ok_or(CoreError::UnknownRegion(current))?;
+                    scan_next_hop(topo, entry, target, scratch).1
+                }
+            }
+        } else if let Some((dest_rect, slab)) = l2 {
+            scratch.lookups += 1;
+            match scratch.cache.cell_slabs[slab][slot] {
+                SLOT_EMPTY => {
+                    let entry = topo
+                        .region(current)
+                        .ok_or(CoreError::UnknownRegion(current))?;
+                    let (value, best_unvisited) =
+                        scan_and_filter(topo, entry, target, &dest_rect, scratch);
+                    scratch.cache.cell_slabs[slab][slot] = value;
+                    scratch.cache.entries += 1;
+                    best_unvisited
+                }
+                raw if raw < SLOT_SCAN && !scratch.visited(raw as usize) => {
+                    scratch.hits += 1;
+                    Some(RegionId::new(raw as u32))
+                }
+                _ => {
+                    let entry = topo
+                        .region(current)
+                        .ok_or(CoreError::UnknownRegion(current))?;
+                    scan_next_hop(topo, entry, target, scratch).1
+                }
+            }
+        } else {
+            let entry = topo
+                .region(current)
+                .ok_or(CoreError::UnknownRegion(current))?;
+            scan_next_hop(topo, entry, target, scratch).1
+        };
+        match next {
+            Some(next) => {
+                scratch.visit(next.index());
+                scratch.hops.push(next);
+                current = next;
+            }
+            None => {
+                let executor = topo.locate(target)?;
+                scratch.hops.push(executor);
+                return Ok(executor);
+            }
+        }
+    }
+}
+
+/// Like [`route_into`], but at each step picks uniformly at random among
+/// the near-optimal next hops (`slack`-relative tie window). Reuses the
+/// scratch buffers but never consults the next-hop cache — the point of
+/// randomization is to *not* repeat the previous choice.
+///
+/// Produces exactly the hops of [`route_randomized`] for the same RNG
+/// state.
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn route_randomized_into<R: rand::Rng + ?Sized>(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
+    slack: f64,
+    rng: &mut R,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    if !topo.space().covers(target) {
+        return Err(CoreError::OutOfSpace {
+            x: target.x,
+            y: target.y,
+        });
+    }
+    if topo.region(from).is_none() {
+        return Err(CoreError::UnknownRegion(from));
+    }
+    scratch.begin(topo);
+    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let mut current = from;
+    scratch.hops.push(from);
+    scratch.visit(from.index());
+    loop {
+        let entry = topo
+            .region(current)
+            .ok_or(CoreError::UnknownRegion(current))?;
+        if entry.covers(target, topo.space()) {
+            return Ok(current);
+        }
+        if scratch.hops.len() > budget {
+            let executor = topo.locate(target)?;
+            scratch.hops.push(executor);
+            return Ok(executor);
+        }
+        let mut cand = std::mem::take(&mut scratch.cand);
+        candidates_into_filtered(
+            topo,
+            entry,
+            target,
+            |n| scratch.visited(n.index()),
+            slack,
+            &mut cand,
+        );
+        let next = if cand.is_empty() {
+            scan_next_hop(topo, entry, target, scratch).1
+        } else {
+            Some(cand[rng.random_range(0..cand.len())])
+        };
+        scratch.cand = cand;
+        match next {
+            Some(next) => {
+                scratch.visit(next.index());
+                scratch.hops.push(next);
+                current = next;
+            }
+            None => {
+                let executor = topo.locate(target)?;
+                scratch.hops.push(executor);
+                return Ok(executor);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread scratch backing the allocating wrappers, so plain
+    /// [`route`] callers still reuse buffers and the next-hop cache.
+    static THREAD_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::new());
+}
+
+/// Runs `f` with the thread-local [`RouteScratch`]. Falls back to a fresh
+/// scratch if the thread-local one is already borrowed (re-entrant use).
+pub(crate) fn with_thread_scratch<T>(f: impl FnOnce(&mut RouteScratch) -> T) -> T {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut RouteScratch::new()),
+    })
+}
+
+/// Routes from `from` to the region covering `target`, greedily.
+///
+/// Greedy forwarding over a rectangular tiling makes monotone progress in
+/// almost all configurations; the corner cases (corner-contact ties) are
+/// handled by tracking visited regions. If the hop budget
+/// (`8√N + 64`) is exhausted the search falls back to the spatial-index
+/// ground truth and reports the path walked so far plus the answer.
+///
+/// Thin wrapper over [`route_into`] with a thread-local scratch; batch
+/// callers should hold their own [`RouteScratch`].
+///
+/// # Errors
+///
+/// * [`CoreError::OutOfSpace`] if `target` lies outside the space.
+/// * [`CoreError::UnknownRegion`] if `from` is dead.
+/// * [`CoreError::EmptyNetwork`] if the network has no regions.
+pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath, CoreError> {
+    with_thread_scratch(|scratch| {
+        let executor = route_into(topo, from, target, scratch)?;
+        Ok(RoutePath {
+            executor,
+            hops: scratch.hops.clone(),
+        })
+    })
 }
 
 /// Like [`route`], but at each step picks uniformly at random among the
 /// near-optimal next hops (`slack`-relative tie window). Trades a few
 /// extra hops for spreading routing workload across parallel corridors.
+///
+/// Thin wrapper over [`route_randomized_into`] with a thread-local
+/// scratch.
 ///
 /// # Errors
 ///
@@ -124,6 +886,29 @@ pub fn route_randomized<R: rand::Rng + ?Sized>(
     target: Point,
     slack: f64,
     rng: &mut R,
+) -> Result<RoutePath, CoreError> {
+    with_thread_scratch(|scratch| {
+        let executor = route_randomized_into(topo, from, target, slack, rng, scratch)?;
+        Ok(RoutePath {
+            executor,
+            hops: scratch.hops.clone(),
+        })
+    })
+}
+
+/// The original allocating implementation — per-query `HashSet` and
+/// `Vec`s, no scratch, no cache. Kept as the reference the cached engine
+/// is verified against (the cache-consistency property test asserts
+/// [`route_into`] matches this hop for hop) and as the *cold* baseline in
+/// benchmarks.
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn route_uncached(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
 ) -> Result<RoutePath, CoreError> {
     if !topo.space().covers(target) {
         return Err(CoreError::OutOfSpace {
@@ -150,72 +935,6 @@ pub fn route_randomized<R: rand::Rng + ?Sized>(
             });
         }
         if hops.len() > budget {
-            let executor = topo.locate(target)?;
-            hops.push(executor);
-            return Ok(RoutePath { executor, hops });
-        }
-        let candidates = next_hop_candidates(topo, current, target, &visited, slack);
-        let next = if candidates.is_empty() {
-            next_hop(topo, current, target, &visited)
-        } else {
-            Some(candidates[rng.random_range(0..candidates.len())])
-        };
-        match next {
-            Some(next) => {
-                visited.insert(next);
-                hops.push(next);
-                current = next;
-            }
-            None => {
-                let executor = topo.locate(target)?;
-                hops.push(executor);
-                return Ok(RoutePath { executor, hops });
-            }
-        }
-    }
-}
-
-/// Routes from `from` to the region covering `target`, greedily.
-///
-/// Greedy forwarding over a rectangular tiling makes monotone progress in
-/// almost all configurations; the corner cases (corner-contact ties) are
-/// handled by tracking visited regions. If the hop budget
-/// (`8√N + 64`) is exhausted the search falls back to the linear-scan
-/// ground truth and reports the path walked so far plus the answer.
-///
-/// # Errors
-///
-/// * [`CoreError::OutOfSpace`] if `target` lies outside the space.
-/// * [`CoreError::UnknownRegion`] if `from` is dead.
-/// * [`CoreError::EmptyNetwork`] if the network has no regions.
-pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath, CoreError> {
-    if !topo.space().covers(target) {
-        return Err(CoreError::OutOfSpace {
-            x: target.x,
-            y: target.y,
-        });
-    }
-    if topo.region(from).is_none() {
-        return Err(CoreError::UnknownRegion(from));
-    }
-    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
-    let mut visited = HashSet::new();
-    let mut hops = vec![from];
-    let mut current = from;
-    visited.insert(from);
-    loop {
-        let entry = topo
-            .region(current)
-            .ok_or(CoreError::UnknownRegion(current))?;
-        if entry.covers(target, topo.space()) {
-            return Ok(RoutePath {
-                executor: current,
-                hops,
-            });
-        }
-        if hops.len() > budget {
-            // Degenerate topology (should not happen on a valid partition):
-            // answer via scan so callers still make progress.
             let executor = topo.locate(target)?;
             hops.push(executor);
             return Ok(RoutePath { executor, hops });
@@ -435,5 +1154,86 @@ mod tests {
         let inner = t.region(executor).unwrap().region();
         let tiny = Region::new(inner.center().x - 1e-6, inner.center().y - 1e-6, 2e-6, 2e-6);
         assert_eq!(fanout(&t, executor, &tiny), vec![executor]);
+    }
+
+    #[test]
+    fn cached_engine_matches_uncached_reference_on_all_pairs() {
+        let t = grid_topology(6);
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let mut scratch = RouteScratch::new();
+        // Twice over every (from, target) pair: the second round runs with
+        // a warm cache and must still agree hop for hop.
+        for _round in 0..2 {
+            for &from in &ids {
+                for &to in &ids {
+                    let target = t.region(to).unwrap().region().center();
+                    let reference = route_uncached(&t, from, target).unwrap();
+                    let executor = route_into(&t, from, target, &mut scratch).unwrap();
+                    assert_eq!(executor, reference.executor);
+                    assert_eq!(scratch.hops(), &reference.hops[..]);
+                }
+            }
+        }
+        assert!(scratch.hit_rate() > 0.0, "warm round never hit the cache");
+    }
+
+    #[test]
+    fn cache_survives_ownership_churn_but_not_geometry_changes() {
+        let mut t = grid_topology(5);
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let (from, to) = (ids[0], ids[ids.len() - 1]);
+        let target = t.region(to).unwrap().region().center();
+        let mut scratch = RouteScratch::new();
+        // Twice: the second sighting promotes the exact target to its L1
+        // slab and derives every entry along the (identical) path.
+        route_into(&t, from, target, &mut scratch).unwrap();
+        route_into(&t, from, target, &mut scratch).unwrap();
+        let warm = scratch.cached_entries();
+        assert!(warm > 0);
+        // Ownership-only churn keeps the cache.
+        t.swap_primaries(from, to).unwrap();
+        route_into(&t, from, target, &mut scratch).unwrap();
+        assert_eq!(scratch.cached_entries(), warm);
+        // A split flushes it (epoch bump) and routing stays correct.
+        let rid = t.locate_scan(Point::new(32.0, 32.0)).unwrap();
+        let primary = t.region(rid).unwrap().primary();
+        let j = t.register_node(Point::new(32.0, 32.0), 10.0);
+        t.split_region(rid, primary, j).unwrap();
+        let reference = route_uncached(&t, from, target).unwrap();
+        let executor = route_into(&t, from, target, &mut scratch).unwrap();
+        assert_eq!(executor, reference.executor);
+        assert_eq!(scratch.hops(), &reference.hops[..]);
+    }
+
+    #[test]
+    fn randomized_into_matches_wrapper_for_same_seed() {
+        use rand::SeedableRng;
+        let t = grid_topology(6);
+        let from = t.first_region().unwrap();
+        let target = Point::new(60.0, 60.0);
+        let mut rng_a = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut rng_b = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut scratch = RouteScratch::new();
+        for _ in 0..10 {
+            let path = route_randomized(&t, from, target, 0.25, &mut rng_a).unwrap();
+            let executor =
+                route_randomized_into(&t, from, target, 0.25, &mut rng_b, &mut scratch).unwrap();
+            assert_eq!(executor, path.executor);
+            assert_eq!(scratch.hops(), &path.hops[..]);
+        }
+    }
+
+    #[test]
+    fn candidates_into_matches_allocating_form() {
+        let t = grid_topology(6);
+        let target = Point::new(60.0, 60.0);
+        let mut buf = Vec::new();
+        for rid in t.region_ids() {
+            for slack in [0.0, 0.25, 0.5] {
+                let reference = next_hop_candidates(&t, rid, target, &HashSet::new(), slack);
+                next_hop_candidates_into(&t, rid, target, &HashSet::new(), slack, &mut buf);
+                assert_eq!(buf, reference);
+            }
+        }
     }
 }

@@ -133,6 +133,21 @@ impl GridIndex {
         (((y - self.origin_y) / self.cell_h) as usize).min(GRID_DIM - 1)
     }
 
+    /// Closed rectangle of cell `i` (row-major, as numbered by
+    /// [`Self::cell_of`]). Every point mapping into the cell lies within
+    /// this rectangle (boundary points map to an adjacent cell whose
+    /// rectangle also touches them), which is what lets the routing
+    /// cache bound neighbor distances over a whole destination cell.
+    fn cell_rect(&self, i: usize) -> Region {
+        let (row, col) = (i / GRID_DIM, i % GRID_DIM);
+        Region::new(
+            self.origin_x + col as f64 * self.cell_w,
+            self.origin_y + row as f64 * self.cell_h,
+            self.cell_w,
+            self.cell_h,
+        )
+    }
+
     /// Inclusive `(col_lo, col_hi, row_lo, row_hi)` span of the closed
     /// rectangle of `r`.
     fn span(&self, r: &Region) -> (usize, usize, usize, usize) {
@@ -170,15 +185,30 @@ impl GridIndex {
         if self.cells.is_empty() {
             return &[];
         }
-        &self.cells[self.row(p.y) * GRID_DIM + self.col(p.x)]
+        &self.cells[self.cell_of(p)]
     }
+
+    /// Row-major index of the cell containing `p` (clamped into range).
+    fn cell_of(&self, p: Point) -> usize {
+        self.row(p.y) * GRID_DIM + self.col(p.x)
+    }
+}
+
+/// Source of unique [`Topology::instance_id`] values. Every constructed or
+/// cloned topology gets a fresh id so route caches keyed by
+/// `(instance_id, epoch)` can never confuse two instances whose epoch
+/// counters happen to coincide.
+static NEXT_TOPOLOGY_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn next_topology_id() -> u64 {
+    NEXT_TOPOLOGY_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
 }
 
 /// The authoritative GeoGrid network model.
 ///
 /// See the [module docs](self) for an overview and the
 /// [crate docs](crate) for an end-to-end example.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug)]
 pub struct Topology {
     space: Option<Space>,
     slots: Vec<Option<RegionEntry>>,
@@ -188,6 +218,64 @@ pub struct Topology {
     next_node: u64,
     region_count: usize,
     grid: GridIndex,
+    /// Process-unique instance id (see [`Self::instance_id`]).
+    id: u64,
+    /// Geometry epoch (see [`Self::epoch`]).
+    epoch: u64,
+    /// Flat mirror of every live slot's rectangle and center, indexed by
+    /// [`RegionId::index`]. Entries of dead slots are stale until the slot
+    /// is recycled; only live ids may be used to index. One cache line per
+    /// slot (see [`SlotGeo`]) so a greedy neighbor probe costs one load.
+    slot_geo: Vec<SlotGeo>,
+}
+
+/// Rectangle + center of one slot, padded to a cache line: the greedy
+/// scan reads both for every neighbor, so keeping them on one 64-byte
+/// line halves its memory traffic versus separate rect/center arrays.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(64))]
+struct SlotGeo {
+    rect: Region,
+    center: Point,
+}
+
+// Hand-written (not derived) so every clone gets a fresh `id`: a clone
+// starts diverging from the original immediately, and route caches keyed
+// by `(instance_id, epoch)` must not treat the two as interchangeable.
+impl Clone for Topology {
+    fn clone(&self) -> Self {
+        Self {
+            space: self.space,
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            nodes: self.nodes.clone(),
+            assignments: self.assignments.clone(),
+            next_node: self.next_node,
+            region_count: self.region_count,
+            grid: self.grid.clone(),
+            id: next_topology_id(),
+            epoch: self.epoch,
+            slot_geo: self.slot_geo.clone(),
+        }
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self {
+            space: None,
+            slots: Vec::new(),
+            free: Vec::new(),
+            nodes: HashMap::new(),
+            assignments: HashMap::new(),
+            next_node: 0,
+            region_count: 0,
+            grid: GridIndex::default(),
+            id: next_topology_id(),
+            epoch: 0,
+            slot_geo: Vec::new(),
+        }
+    }
 }
 
 impl Topology {
@@ -234,6 +322,7 @@ impl Topology {
     pub fn bootstrap(&mut self, node: NodeId) -> Result<RegionId, CoreError> {
         assert!(self.region_count == 0, "bootstrap on a non-empty network");
         self.ensure_unassigned(node)?;
+        self.epoch += 1;
         let rid = self.alloc_slot(RegionEntry {
             region: self.space().bounds(),
             primary: node,
@@ -247,6 +336,71 @@ impl Topology {
     /// Number of live regions.
     pub fn region_count(&self) -> usize {
         self.region_count
+    }
+
+    /// Process-unique identity of this topology instance. Fresh on every
+    /// construction *and* on every clone, so `(instance_id, epoch)` is a
+    /// globally unambiguous geometry version — two topologies never share
+    /// one even if their epoch counters coincide.
+    pub fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    /// Geometry epoch: bumped every time region rectangles or adjacency
+    /// change, which happens at exactly the three sites that also rewrite
+    /// the grid index — [`Self::bootstrap`], [`Self::split_region`] and
+    /// [`Self::merge_regions`]. Ownership operations (secondary placement,
+    /// primary swaps, fail-over promotion, node removal) move nodes, not
+    /// rectangles, and leave the epoch alone — so routing caches keyed by
+    /// `(instance_id, epoch)` stay warm across them.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Upper bound (exclusive) on [`RegionId::index`] over all live
+    /// regions: the current slot-table length. Slots are recycled, so this
+    /// stays dense — suitable for sizing flat per-slot side tables.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The rectangle of the live region in `slot`, from the flat geometry
+    /// mirror (no `Option` chasing). `slot` must index a live region.
+    #[inline]
+    pub fn slot_rect(&self, slot: usize) -> Region {
+        self.slot_geo[slot].rect
+    }
+
+    /// The center of the live region in `slot`, same contract as
+    /// [`Self::slot_rect`].
+    #[inline]
+    pub fn slot_center(&self, slot: usize) -> Point {
+        self.slot_geo[slot].center
+    }
+
+    /// Row-major index (in `[0, 128²)`) of the spatial-index cell
+    /// containing `p` — the destination key of the per-source route cache.
+    /// Returns 0 when the topology has no space yet.
+    #[inline]
+    pub fn grid_cell_of(&self, p: Point) -> u32 {
+        if self.grid.cells.is_empty() {
+            return 0;
+        }
+        self.grid.cell_of(p) as u32
+    }
+
+    /// Number of grid-index cells (0 until the grid is initialised).
+    pub fn grid_cell_count(&self) -> usize {
+        self.grid.cells.len()
+    }
+
+    /// Closed rectangle of grid cell `cell` (as numbered by
+    /// [`Self::grid_cell_of`]); `None` until the grid is initialised.
+    pub fn grid_cell_rect(&self, cell: u32) -> Option<Region> {
+        if self.grid.cells.is_empty() {
+            return None;
+        }
+        Some(self.grid.cell_rect(cell as usize))
     }
 
     /// Number of registered nodes (assigned or not).
@@ -429,10 +583,11 @@ impl Topology {
             };
 
         let old_neighbors = self.entry(rid)?.neighbors.clone();
+        // Geometry changes from here on: invalidate epoch-keyed caches.
+        self.epoch += 1;
         // Rewrite the kept slot (and its grid cells: the kept half covers a
         // subset of the old rectangle's cells).
-        self.grid.remove(rid, &old_region);
-        self.grid.insert(rid, &kept_half);
+        self.rewrite_geometry(rid, &old_region, kept_half);
         {
             let entry = self.entry_mut(rid)?;
             entry.region = kept_half;
@@ -526,6 +681,8 @@ impl Topology {
             }
         }
 
+        // Geometry changes from here on: invalidate epoch-keyed caches.
+        self.epoch += 1;
         // Displace all owners, then install the named ones.
         let mut displaced = Vec::new();
         for owner in &owners {
@@ -536,8 +693,7 @@ impl Topology {
         }
         // `a` grows to the merged rectangle; `b`'s cells are cleared by
         // `free_slot` below.
-        self.grid.remove(a, &ra);
-        self.grid.insert(a, &merged);
+        self.rewrite_geometry(a, &ra, merged);
         {
             let entry = self.entry_mut(a)?;
             entry.region = merged;
@@ -788,6 +944,14 @@ impl Topology {
                 }
             }
         }
+        // Geometry mirrors agree with the slot table for every live region.
+        for (rid, e) in &all {
+            if self.slot_geo[rid.index()].rect != e.region
+                || self.slot_geo[rid.index()].center != e.region.center()
+            {
+                return Err(format!("{rid}: rect/center geometry mirror is stale"));
+            }
+        }
         // Pairwise overlap/adjacency, bucket-locally (see the doc comment:
         // any overlapping or touching pair shares a cell).
         for cell in &self.grid.cells {
@@ -863,15 +1027,33 @@ impl Topology {
     fn alloc_slot(&mut self, entry: RegionEntry) -> RegionId {
         self.region_count += 1;
         let region = entry.region;
+        let geo = SlotGeo {
+            rect: region,
+            center: region.center(),
+        };
         let rid = if let Some(i) = self.free.pop() {
             self.slots[i as usize] = Some(entry);
+            self.slot_geo[i as usize] = geo;
             RegionId::new(i)
         } else {
             self.slots.push(Some(entry));
+            self.slot_geo.push(geo);
             RegionId::new((self.slots.len() - 1) as u32)
         };
         self.grid.insert(rid, &region);
         rid
+    }
+
+    /// Rewrites the rectangle of live slot `rid` to `to`, keeping the grid
+    /// index and the geometry mirror in sync. Callers bump [`Self::epoch`]
+    /// at the surrounding mutation site.
+    fn rewrite_geometry(&mut self, rid: RegionId, from: &Region, to: Region) {
+        self.grid.remove(rid, from);
+        self.grid.insert(rid, &to);
+        self.slot_geo[rid.index()] = SlotGeo {
+            rect: to,
+            center: to.center(),
+        };
     }
 
     fn free_slot(&mut self, rid: RegionId) {
@@ -1216,5 +1398,48 @@ mod tests {
         let nr2 = t.split_region(r, n, k).unwrap();
         assert_eq!(nr2, nr, "freed slot should be reused");
         t.validate().unwrap();
+    }
+
+    #[test]
+    fn epoch_bumps_on_geometry_changes_only() {
+        let mut t = Topology::new(space());
+        let n = t.register_node(Point::new(10.0, 10.0), 100.0);
+        assert_eq!(t.epoch(), 0);
+        let r = t.bootstrap(n).unwrap();
+        assert_eq!(t.epoch(), 1);
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        assert_eq!(t.epoch(), 2);
+        // Ownership-only operations leave geometry (and the epoch) alone.
+        let s = t.register_node(Point::new(20.0, 20.0), 10.0);
+        t.set_secondary(r, s).unwrap();
+        t.swap_primaries(r, nr).unwrap();
+        t.swap_primaries(r, nr).unwrap();
+        t.take_secondary(r).unwrap();
+        assert_eq!(t.epoch(), 2);
+        t.merge_regions(r, nr, n, None).unwrap();
+        assert_eq!(t.epoch(), 3);
+        // Failed (validated-away) mutations must not bump either.
+        assert!(t.split_region(nr, n, j).is_err());
+        assert_eq!(t.epoch(), 3);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn clones_get_fresh_instance_ids_and_soa_stays_exact() {
+        let (mut t, n, r) = boot();
+        let c = t.clone();
+        assert_ne!(t.instance_id(), c.instance_id());
+        assert_eq!(t.epoch(), c.epoch());
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).unwrap();
+        for rid in [r, nr] {
+            let e = t.region(rid).unwrap();
+            assert_eq!(t.slot_rect(rid.index()), e.region());
+            assert_eq!(t.slot_center(rid.index()), e.region().center());
+        }
+        assert_eq!(t.slot_count(), 2);
+        t.validate().unwrap();
+        c.validate().unwrap();
     }
 }
