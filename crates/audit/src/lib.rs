@@ -1,0 +1,1287 @@
+//! `geogrid-audit`: an offline, dependency-light static-analysis pass over
+//! the workspace's own Rust sources, run as `cargo lint-all`.
+//!
+//! The overlay's fast paths (PRs 1–2) created *coupled* mutation sites:
+//! every geometry rewrite must update the grid spatial index, the 64-byte
+//! slot-geometry mirror, and the route-cache epoch in lockstep, and the
+//! routing hot path must stay allocation-free. Those rules are invisible
+//! to the type system, so this crate machine-checks them with a
+//! hand-rolled token scanner (no `syn` — the build environment has no
+//! registry access, and a lossy-but-honest lexer is all these rules
+//! need).
+//!
+//! # Rule catalog
+//!
+//! | ID | Rule |
+//! |-------|------|
+//! | GG001 | functions marked `// audit: geometry-rewrite` must call every required callee group (epoch bump + grid/mirror rewrite), and nothing unmarked may call those mutators |
+//! | GG002 | no allocation (`Vec::new`, `vec!`, `.clone()`, `.to_vec()`, `.collect()`, …) inside `#[hot_path]`-marked functions |
+//! | GG003 | no `.unwrap()` in non-test `crates/core` code; `.expect(...)` only with an `"invariant: ..."` message |
+//! | GG004 | `#![forbid(unsafe_code)]` present in every first-party crate root |
+//! | GG005 | the geometry epoch field is written only inside `bump_epoch` |
+//!
+//! Every rule has a fix-it hint ([`hint`]) and seeded-violation self-tests
+//! (this file's test module) proving it catches the mistake it exists
+//! for. DESIGN.md §7 maps each structural invariant to its enforcing rule
+//! or runtime auditor check.
+//!
+//! The scanner is *lossy by design*: it lexes identifiers, operators,
+//! strings and comments exactly (so markers in comments and banned calls
+//! in code are never confused with string contents), but it does not
+//! build an AST. Function bodies are recovered by brace matching, test
+//! code by `#[cfg(test)]`/`#[test]` attribute tracking. That is enough
+//! for rules keyed on call-shaped token patterns, and it keeps the tool
+//! running in milliseconds with zero dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Rule metadata
+// ---------------------------------------------------------------------------
+
+/// One lint rule: machine-readable id, summary, and fix-it hint.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Machine-readable rule id (`GG001` …).
+    pub id: &'static str,
+    /// One-line description of what the rule enforces.
+    pub summary: &'static str,
+    /// How to fix a violation.
+    pub hint: &'static str,
+}
+
+/// The full rule catalog, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "GG001",
+        summary: "geometry-rewrite three-site coherence: marked functions must \
+                  update the grid index + slot mirror and bump the epoch; \
+                  unmarked functions must not call those mutators",
+        hint: "mark the function with `// audit: geometry-rewrite` and make it \
+               call bump_epoch plus one of rewrite_geometry/alloc_slot/free_slot, \
+               or move the mutation into an already-marked site",
+    },
+    RuleInfo {
+        id: "GG002",
+        summary: "no allocation or copying calls inside #[hot_path] functions",
+        hint: "hoist the allocation into an unmarked cold-path helper or reuse \
+               a scratch buffer (see RouteScratch)",
+    },
+    RuleInfo {
+        id: "GG003",
+        summary: "no .unwrap(), and only invariant-documented .expect(), in \
+                  non-test geogrid-core code",
+        hint: "return a typed CoreError (`ok_or`/`map_err`) or document why \
+               failure is impossible: `.expect(\"invariant: ...\")`",
+    },
+    RuleInfo {
+        id: "GG004",
+        summary: "#![forbid(unsafe_code)] present in every first-party crate root",
+        hint: "add `#![forbid(unsafe_code)]` to the crate root (src/lib.rs or \
+               src/main.rs)",
+    },
+    RuleInfo {
+        id: "GG005",
+        summary: "the geometry epoch field is written only inside bump_epoch",
+        hint: "route every epoch change through Topology::bump_epoch so \
+               epoch-keyed route caches observe all geometry versions",
+    },
+];
+
+/// The fix-it hint for a rule id.
+pub fn hint(rule: &str) -> &'static str {
+    RULES
+        .iter()
+        .find(|r| r.id == rule)
+        .map(|r| r.hint)
+        .unwrap_or("see crates/audit/src/lib.rs for the rule catalog")
+}
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule's id (`GG001` …).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable description of this specific violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{}\n  {}\n  fix: {}",
+            self.rule,
+            self.path,
+            self.line,
+            self.message,
+            hint(self.rule)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+/// A lexed token (comments are captured separately as [`Marker`]s).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (content only, escapes left as written).
+    Str(String),
+    /// Operator or punctuation (multi-character operators kept whole).
+    Op(String),
+    /// Numeric or char literal (content irrelevant to every rule).
+    Lit,
+    /// Lifetime (`'a`).
+    Life,
+}
+
+impl Tok {
+    fn is(&self, s: &str) -> bool {
+        match self {
+            Tok::Ident(t) | Tok::Op(t) => t == s,
+            _ => false,
+        }
+    }
+}
+
+/// A token plus its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// An `// audit: ...` marker comment.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// Text after `audit:`, trimmed.
+    pub text: String,
+}
+
+/// Lexer output: code tokens plus audit marker comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// All `// audit:` markers in source order.
+    pub markers: Vec<Marker>,
+}
+
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lexes Rust source into tokens and audit markers. Comments, string and
+/// char literals are consumed exactly so rule patterns can never match
+/// inside them; everything else is tokenized loosely but safely.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = src[start..i].trim_start_matches('/').trim();
+                if let Some(rest) = text.strip_prefix("audit:") {
+                    out.markers.push(Marker {
+                        line,
+                        text: rest.trim().to_string(),
+                    });
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let (content, ni, nl) = lex_string(src, i, line);
+                out.tokens.push(Token {
+                    tok: Tok::Str(content),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let (tok, ni, nl) = lex_quote(src, i, line);
+                out.tokens.push(Token { tok, line });
+                i = ni;
+                line = nl;
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                // Raw/byte string prefixes: r"", r#""#, b"", br#""#.
+                if let Some((content, ni, nl)) = try_raw_or_byte_string(src, i, line) {
+                    out.tokens.push(Token {
+                        tok: Tok::Str(content),
+                        line,
+                    });
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+                    i += 1;
+                }
+                // Raw identifier `r#name`: keep the bare name.
+                let mut text = &src[start..i];
+                if text == "r" && b.get(i) == Some(&b'#') {
+                    let s2 = i + 1;
+                    let mut j = s2;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    if j > s2 {
+                        text = &src[s2..j];
+                        i = j;
+                    }
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Ident(text.to_string()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    let continues = d == b'_'
+                        || d.is_ascii_alphanumeric()
+                        || (d == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+                        || ((d == b'+' || d == b'-')
+                            && matches!(b.get(i - 1), Some(&b'e') | Some(&b'E')));
+                    if !continues {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    tok: Tok::Lit,
+                    line,
+                });
+            }
+            _ => {
+                let rest = &src[i..];
+                let op = MULTI_OPS.iter().find(|op| rest.starts_with(**op));
+                match op {
+                    Some(op) => {
+                        out.tokens.push(Token {
+                            tok: Tok::Op(op.to_string()),
+                            line,
+                        });
+                        i += op.len();
+                    }
+                    None => {
+                        out.tokens.push(Token {
+                            tok: Tok::Op((c as char).to_string()),
+                            line,
+                        });
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a `"..."` string starting at `i` (the opening quote). Returns
+/// (content, next index, next line).
+fn lex_string(src: &str, i: usize, mut line: u32) -> (String, usize, u32) {
+    let b = src.as_bytes();
+    let mut j = i + 1;
+    let start = j;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'"' => return (src[start..j].to_string(), j + 1, line),
+            _ => j += 1,
+        }
+    }
+    (src[start..j.min(src.len())].to_string(), j, line)
+}
+
+/// Lexes the token starting with `'`: a char literal or a lifetime.
+fn lex_quote(src: &str, i: usize, line: u32) -> (Tok, usize, u32) {
+    let b = src.as_bytes();
+    let j = i + 1;
+    if j >= b.len() {
+        return (Tok::Op("'".to_string()), j, line);
+    }
+    if b[j] == b'\\' {
+        // Escaped char literal: '\n', '\'', '\u{..}', '\x7f'.
+        let mut k = j + 1;
+        if b.get(k) == Some(&b'u') && b.get(k + 1) == Some(&b'{') {
+            while k < b.len() && b[k] != b'}' {
+                k += 1;
+            }
+            k += 1;
+        } else if b.get(k) == Some(&b'x') {
+            k += 3;
+        } else {
+            k += 1;
+        }
+        if b.get(k) == Some(&b'\'') {
+            k += 1;
+        }
+        return (Tok::Lit, k.min(src.len()), line);
+    }
+    // One char then a closing quote → char literal; otherwise lifetime.
+    let mut chars = src[j..].chars();
+    if let Some(c0) = chars.next() {
+        let after = j + c0.len_utf8();
+        if b.get(after) == Some(&b'\'') {
+            return (Tok::Lit, after + 1, line);
+        }
+    }
+    let mut k = j;
+    while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+        k += 1;
+    }
+    (Tok::Life, k.max(j + 1), line)
+}
+
+/// Handles `r"…"`, `r#"…"#`, `b"…"`, `br##"…"##` starting at ident char
+/// `i`; returns `None` if the text there is not a raw/byte string.
+fn try_raw_or_byte_string(src: &str, i: usize, mut line: u32) -> Option<(String, usize, u32)> {
+    let b = src.as_bytes();
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    let raw = b.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') || (!raw && (hashes > 0 || j == i)) {
+        return None;
+    }
+    if !raw {
+        // Plain byte string b"…": same escape rules as a normal string.
+        let (s, ni, nl) = lex_string(src, j, line);
+        return Some((s, ni, nl));
+    }
+    j += 1;
+    let start = j;
+    let closer: String = std::iter::once('"')
+        .chain("#".repeat(hashes).chars())
+        .collect();
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+        }
+        if src[j..].starts_with(&closer) {
+            return Some((src[start..j].to_string(), j + closer.len(), line));
+        }
+        j += 1;
+    }
+    Some((src[start..].to_string(), j, line))
+}
+
+// ---------------------------------------------------------------------------
+// Item model: functions, attributes, test regions
+// ---------------------------------------------------------------------------
+
+/// One `fn` item recovered from the token stream.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// Flattened text of each outer attribute (tokens joined by spaces).
+    pub attrs: Vec<String>,
+    /// `// audit:` markers attached to this function.
+    pub markers: Vec<String>,
+    /// Token-index range of the body (between the braces, exclusive).
+    pub body: Range<usize>,
+    /// Whether the function is test-only (`#[test]`, `#[cfg(test)]`, or
+    /// inside a `#[cfg(test)] mod`).
+    pub is_test: bool,
+}
+
+/// A file's lexed tokens plus the recovered item structure.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Workspace-relative path.
+    pub path: String,
+    /// All code tokens.
+    pub tokens: Vec<Token>,
+    /// Flattened inner attributes (`#![...]`).
+    pub inner_attrs: Vec<String>,
+    /// Every recovered function.
+    pub fns: Vec<FnItem>,
+    /// Token ranges of `#[cfg(test)]` items and `#[test]` fn bodies.
+    pub test_ranges: Vec<Range<usize>>,
+}
+
+impl FileModel {
+    /// Whether token index `idx` lies in test-only code.
+    pub fn in_test(&self, idx: usize) -> bool {
+        self.test_ranges.iter().any(|r| r.contains(&idx))
+    }
+
+    /// The innermost function whose body contains token index `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnItem> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.contains(&idx))
+            .min_by_key(|f| f.body.end - f.body.start)
+    }
+}
+
+fn is_cfg_test(attr: &str) -> bool {
+    attr.starts_with("cfg") && attr.contains("test")
+}
+
+fn is_test_attr(attr: &str) -> bool {
+    attr == "test" || is_cfg_test(attr)
+}
+
+/// Builds the item model from lexed tokens.
+pub fn model(path: &str, lexed: &Lexed) -> FileModel {
+    let toks = &lexed.tokens;
+    let mut fm = FileModel {
+        path: path.to_string(),
+        tokens: Vec::new(),
+        inner_attrs: Vec::new(),
+        fns: Vec::new(),
+        test_ranges: Vec::new(),
+    };
+    let mut marker_cursor = 0usize;
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].tok.is("#") && toks.get(i + 1).is_some_and(|t| t.tok.is("!")) {
+            // Inner attribute `#![...]`.
+            if let Some((text, end)) = collect_attr(toks, i + 2) {
+                fm.inner_attrs.push(text);
+                i = end;
+                continue;
+            }
+        }
+        if toks[i].tok.is("#") && toks.get(i + 1).is_some_and(|t| t.tok.is("[")) {
+            // One or more outer attributes, then the item they decorate.
+            let mut attrs = Vec::new();
+            let mut j = i;
+            while toks.get(j).is_some_and(|t| t.tok.is("#"))
+                && toks.get(j + 1).is_some_and(|t| t.tok.is("["))
+            {
+                match collect_attr(toks, j + 1) {
+                    Some((text, end)) => {
+                        attrs.push(text);
+                        j = end;
+                    }
+                    None => break,
+                }
+            }
+            j = skip_visibility_and_qualifiers(toks, j);
+            if toks.get(j).is_some_and(|t| t.tok.is("fn")) {
+                let next = handle_fn(toks, j, attrs, lexed, &mut marker_cursor, &mut fm);
+                i = next;
+                continue;
+            }
+            if toks.get(j).is_some_and(|t| t.tok.is("mod")) && attrs.iter().any(|a| is_cfg_test(a))
+            {
+                // `#[cfg(test)] mod …`: record the body as a test range
+                // and keep scanning inside it (fns there are still
+                // segmented, flagged as tests via the range).
+                if let Some(open) = find_from(toks, j, "{") {
+                    if let Some(close) = match_brace(toks, open) {
+                        fm.test_ranges.push(open..close + 1);
+                    }
+                    i = open + 1;
+                    continue;
+                }
+            }
+            i = j;
+            continue;
+        }
+        if toks[i].tok.is("fn") {
+            let next = handle_fn(toks, i, Vec::new(), lexed, &mut marker_cursor, &mut fm);
+            i = next;
+            continue;
+        }
+        i += 1;
+    }
+    // Re-check test status now that all ranges are known, and keep the
+    // token stream for the rules.
+    let ranges = fm.test_ranges.clone();
+    for f in &mut fm.fns {
+        if ranges.iter().any(|r| r.contains(&f.body.start)) {
+            f.is_test = true;
+        }
+    }
+    let bodies: Vec<Range<usize>> = fm
+        .fns
+        .iter()
+        .filter(|f| f.attrs.iter().any(|a| is_test_attr(a)))
+        .map(|f| f.body.clone())
+        .collect();
+    fm.test_ranges.extend(bodies);
+    fm.tokens = toks.clone();
+    fm
+}
+
+/// Collects an attribute's tokens starting at the `[` index; returns the
+/// flattened text and the index just past the closing `]`.
+fn collect_attr(toks: &[Token], open: usize) -> Option<(String, usize)> {
+    if !toks.get(open)?.tok.is("[") {
+        return None;
+    }
+    let mut depth = 0i32;
+    let mut parts = Vec::new();
+    let mut j = open;
+    while j < toks.len() {
+        let t = &toks[j].tok;
+        if t.is("[") {
+            depth += 1;
+            if depth > 1 {
+                parts.push("[".to_string());
+            }
+        } else if t.is("]") {
+            depth -= 1;
+            if depth == 0 {
+                return Some((parts.join(" "), j + 1));
+            }
+            parts.push("]".to_string());
+        } else {
+            parts.push(match t {
+                Tok::Ident(s) | Tok::Op(s) => s.clone(),
+                Tok::Str(s) => format!("{s:?}"),
+                Tok::Lit => "#lit".to_string(),
+                Tok::Life => "'_".to_string(),
+            });
+        }
+        j += 1;
+    }
+    None
+}
+
+fn skip_visibility_and_qualifiers(toks: &[Token], mut j: usize) -> usize {
+    if toks.get(j).is_some_and(|t| t.tok.is("pub")) {
+        j += 1;
+        if toks.get(j).is_some_and(|t| t.tok.is("(")) {
+            if let Some(close) = match_paren(toks, j) {
+                j = close + 1;
+            }
+        }
+    }
+    while toks.get(j).is_some_and(|t| {
+        t.tok.is("const") || t.tok.is("async") || t.tok.is("unsafe") || t.tok.is("extern")
+    }) {
+        j += 1;
+        if let Some(Tok::Str(_)) = toks.get(j).map(|t| &t.tok) {
+            j += 1; // extern "C"
+        }
+    }
+    j
+}
+
+fn find_from(toks: &[Token], from: usize, what: &str) -> Option<usize> {
+    (from..toks.len()).find(|&k| toks[k].tok.is(what))
+}
+
+fn match_brace(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.tok.is("{") {
+            depth += 1;
+        } else if t.tok.is("}") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn match_paren(toks: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.tok.is("(") {
+            depth += 1;
+        } else if t.tok.is(")") {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Segments the fn starting at token `fn_idx`; returns the index scanning
+/// should continue from (past the body, so nested closures/f­ns belong to
+/// this item).
+fn handle_fn(
+    toks: &[Token],
+    fn_idx: usize,
+    attrs: Vec<String>,
+    lexed: &Lexed,
+    marker_cursor: &mut usize,
+    fm: &mut FileModel,
+) -> usize {
+    let Some(Tok::Ident(name)) = toks.get(fn_idx + 1).map(|t| &t.tok) else {
+        return fn_idx + 1; // `fn(` pointer type — not an item
+    };
+    let line = toks[fn_idx].line;
+    // Body: first `{` at bracket/paren depth 0; a `;` first means no body.
+    let mut j = fn_idx + 2;
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut open = None;
+    while j < toks.len() {
+        let t = &toks[j].tok;
+        if t.is("(") {
+            paren += 1;
+        } else if t.is(")") {
+            paren -= 1;
+        } else if t.is("[") {
+            bracket += 1;
+        } else if t.is("]") {
+            bracket -= 1;
+        } else if paren == 0 && bracket == 0 {
+            if t.is("{") {
+                open = Some(j);
+                break;
+            }
+            if t.is(";") {
+                break;
+            }
+        }
+        j += 1;
+    }
+    let Some(open) = open else {
+        return j + 1;
+    };
+    let close = match_brace(toks, open).unwrap_or(toks.len().saturating_sub(1));
+    // Attach every unconsumed marker written above this fn.
+    let mut markers = Vec::new();
+    while *marker_cursor < lexed.markers.len() && lexed.markers[*marker_cursor].line <= line {
+        markers.push(lexed.markers[*marker_cursor].text.clone());
+        *marker_cursor += 1;
+    }
+    let is_test = attrs.iter().any(|a| is_test_attr(a));
+    fm.fns.push(FnItem {
+        name: name.clone(),
+        line,
+        attrs,
+        markers,
+        body: open + 1..close,
+        is_test,
+    });
+    close + 1
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// The private `Topology` helpers that together form one geometry rewrite.
+/// Calling any of them outside a `// audit: geometry-rewrite`-marked
+/// function is a GG001 violation.
+pub const PROTECTED_CALLEES: &[&str] =
+    &["bump_epoch", "rewrite_geometry", "alloc_slot", "free_slot"];
+
+/// Default required-callee groups for a geometry-rewrite site: each inner
+/// group must have at least one call in the marked function's body.
+/// `rewrite_geometry`/`alloc_slot`/`free_slot` all maintain the grid index
+/// *and* the slot-geometry mirror, so one call covers both coupled sites;
+/// `bump_epoch` is always separately required.
+pub const DEFAULT_REQUIRES: &[&[&str]] = &[
+    &["bump_epoch"],
+    &["rewrite_geometry", "alloc_slot", "free_slot"],
+];
+
+const HOT_BANNED_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_owned", "to_string"];
+const HOT_BANNED_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
+];
+const HOT_BANNED_MACROS: &[&str] = &["vec", "format"];
+
+/// Whether the body range contains a call to `name` (identifier followed
+/// by `(`, not a definition).
+fn body_calls(toks: &[Token], body: &Range<usize>, name: &str) -> bool {
+    for k in body.clone() {
+        if toks[k].tok.is(name)
+            && toks.get(k + 1).is_some_and(|t| t.tok.is("("))
+            && (k == 0 || !toks[k - 1].tok.is("fn"))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Parses a `geometry-rewrite` marker's `requires = a, b|c` clause;
+/// falls back to [`DEFAULT_REQUIRES`].
+fn parse_requires(marker: &str) -> Vec<Vec<String>> {
+    let rest = marker.trim_start_matches("geometry-rewrite").trim();
+    if let Some(list) = rest.strip_prefix("requires") {
+        let list = list.trim_start().trim_start_matches('=');
+        return list
+            .split(',')
+            .map(|g| g.split('|').map(|a| a.trim().to_string()).collect())
+            .filter(|g: &Vec<String>| !g.iter().all(|a| a.is_empty()))
+            .collect();
+    }
+    DEFAULT_REQUIRES
+        .iter()
+        .map(|g| g.iter().map(|s| s.to_string()).collect())
+        .collect()
+}
+
+fn is_core_runtime_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.starts_with("crates/core/src/") || p == "crates/core/src"
+}
+
+fn is_crate_root(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    let parts: Vec<&str> = p.split('/').collect();
+    match parts.as_slice() {
+        ["src", f] | ["crates", _, "src", f] => *f == "lib.rs" || *f == "main.rs",
+        _ => false,
+    }
+}
+
+/// Runs every rule over one file. `path` must be workspace-relative —
+/// the GG003/GG005 scopes and the GG004 crate-root predicate key on it.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lex(src);
+    let fm = model(path, &lexed);
+    let mut out = Vec::new();
+    rule_geometry_rewrite(&fm, &mut out);
+    rule_hot_path(&fm, &mut out);
+    if is_core_runtime_path(path) {
+        rule_core_unwrap(&fm, &mut out);
+        rule_epoch_write(&fm, &mut out);
+    }
+    if is_crate_root(path) {
+        rule_forbid_unsafe(&fm, &mut out);
+    }
+    out
+}
+
+/// GG001: geometry-rewrite three-site coherence.
+fn rule_geometry_rewrite(fm: &FileModel, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        let marker = f.markers.iter().find(|m| m.starts_with("geometry-rewrite"));
+        if let Some(marker) = marker {
+            for group in parse_requires(marker) {
+                if !group
+                    .iter()
+                    .any(|callee| body_calls(&fm.tokens, &f.body, callee))
+                {
+                    out.push(Finding {
+                        rule: "GG001",
+                        path: fm.path.clone(),
+                        line: f.line,
+                        message: format!(
+                            "`{}` is marked `audit: geometry-rewrite` but never calls {}",
+                            f.name,
+                            group.join(" | "),
+                        ),
+                    });
+                }
+            }
+        } else if !f.is_test && !PROTECTED_CALLEES.contains(&f.name.as_str()) {
+            for callee in PROTECTED_CALLEES {
+                if body_calls(&fm.tokens, &f.body, callee) {
+                    out.push(Finding {
+                        rule: "GG001",
+                        path: fm.path.clone(),
+                        line: f.line,
+                        message: format!(
+                            "`{}` calls `{callee}` without an `audit: geometry-rewrite` marker",
+                            f.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// GG002: allocation ban inside `#[hot_path]` functions.
+fn rule_hot_path(fm: &FileModel, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        if !f
+            .attrs
+            .iter()
+            .any(|a| a == "hot_path" || a.ends_with(":: hot_path") || a.starts_with("hot_path ("))
+        {
+            continue;
+        }
+        let toks = &fm.tokens;
+        for k in f.body.clone() {
+            let t = &toks[k].tok;
+            let line = toks[k].line;
+            let mut flag = |what: String| {
+                out.push(Finding {
+                    rule: "GG002",
+                    path: fm.path.clone(),
+                    line,
+                    message: format!("`{}` is #[hot_path] but contains {what}", f.name),
+                });
+            };
+            if let Tok::Ident(name) = t {
+                if HOT_BANNED_MACROS.contains(&name.as_str())
+                    && toks.get(k + 1).is_some_and(|n| n.tok.is("!"))
+                {
+                    flag(format!("`{name}!` (allocates)"));
+                }
+                if HOT_BANNED_TYPES.contains(&name.as_str())
+                    && toks.get(k + 1).is_some_and(|n| n.tok.is("::"))
+                    && toks.get(k + 2).is_some_and(|n| {
+                        n.tok.is("new") || n.tok.is("from") || n.tok.is("with_capacity")
+                    })
+                {
+                    let m = match &toks[k + 2].tok {
+                        Tok::Ident(m) => m.clone(),
+                        _ => String::new(),
+                    };
+                    flag(format!("`{name}::{m}` (allocates)"));
+                }
+                if HOT_BANNED_METHODS.contains(&name.as_str())
+                    && k > 0
+                    && toks[k - 1].tok.is(".")
+                    && toks.get(k + 1).is_some_and(|n| n.tok.is("("))
+                {
+                    flag(format!("`.{name}()` (allocates or copies)"));
+                }
+            }
+        }
+    }
+}
+
+/// GG003: `.unwrap()` / undocumented `.expect()` in non-test core code.
+fn rule_core_unwrap(fm: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &fm.tokens;
+    for k in 0..toks.len() {
+        if fm.in_test(k) {
+            continue;
+        }
+        if !(k > 0 && toks[k - 1].tok.is(".") && toks.get(k + 1).is_some_and(|t| t.tok.is("("))) {
+            continue;
+        }
+        if toks[k].tok.is("unwrap") {
+            out.push(Finding {
+                rule: "GG003",
+                path: fm.path.clone(),
+                line: toks[k].line,
+                message: "`.unwrap()` in non-test geogrid-core code".to_string(),
+            });
+        } else if toks[k].tok.is("expect") {
+            let documented = matches!(
+                toks.get(k + 2).map(|t| &t.tok),
+                Some(Tok::Str(s)) if s.starts_with("invariant:")
+            );
+            if !documented {
+                out.push(Finding {
+                    rule: "GG003",
+                    path: fm.path.clone(),
+                    line: toks[k].line,
+                    message: "`.expect(...)` without an `\"invariant: ...\"` message in \
+                              non-test geogrid-core code"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// GG004: `#![forbid(unsafe_code)]` in crate roots.
+fn rule_forbid_unsafe(fm: &FileModel, out: &mut Vec<Finding>) {
+    let ok = fm
+        .inner_attrs
+        .iter()
+        .any(|a| a.contains("forbid") && a.contains("unsafe_code"));
+    if !ok {
+        out.push(Finding {
+            rule: "GG004",
+            path: fm.path.clone(),
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+}
+
+/// GG005: geometry-epoch field writes outside `bump_epoch`.
+fn rule_epoch_write(fm: &FileModel, out: &mut Vec<Finding>) {
+    let toks = &fm.tokens;
+    for k in 1..toks.len() {
+        if fm.in_test(k) {
+            continue;
+        }
+        if !toks[k].tok.is("epoch") || !toks[k - 1].tok.is(".") {
+            continue;
+        }
+        let assigns = toks
+            .get(k + 1)
+            .is_some_and(|t| t.tok.is("=") || t.tok.is("+=") || t.tok.is("-="));
+        if !assigns {
+            continue;
+        }
+        let inside_bump = fm.enclosing_fn(k).is_some_and(|f| f.name == "bump_epoch");
+        if !inside_bump {
+            out.push(Finding {
+                rule: "GG005",
+                path: fm.path.clone(),
+                line: toks[k].line,
+                message: "geometry epoch written outside `bump_epoch`".to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workspace walking
+// ---------------------------------------------------------------------------
+
+/// Directories never scanned: third-party shims, build output, VCS.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "results"];
+
+/// Collects every first-party `.rs` file under `root` (workspace-relative
+/// paths), skipping [`SKIP_DIRS`].
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                let rel = path
+                    .strip_prefix(root)
+                    .unwrap_or(&path)
+                    .to_string_lossy()
+                    .replace('\\', "/");
+                let text = std::fs::read_to_string(&path)?;
+                out.push((rel, text));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lints every first-party source file under the workspace root.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let files = collect_sources(root)?;
+    let mut findings = Vec::new();
+    for (path, text) in &files {
+        findings.extend(lint_source(path, text));
+    }
+    Ok(findings)
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Seeded-violation self-tests: every rule must catch the mistake it
+// exists for, and must stay quiet on the compliant version.
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    const CORE_PATH: &str = "crates/core/src/topology.rs";
+
+    #[test]
+    fn gg001_catches_missing_epoch_bump() {
+        let src = r#"
+            // audit: geometry-rewrite
+            pub fn split_region(&mut self) {
+                self.rewrite_geometry(rid, &old, new);
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG001"]);
+        assert!(f[0].message.contains("bump_epoch"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gg001_catches_missing_grid_rewrite() {
+        let src = r#"
+            // audit: geometry-rewrite
+            pub fn merge_regions(&mut self) {
+                self.bump_epoch();
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG001"]);
+        assert!(f[0].message.contains("rewrite_geometry"));
+    }
+
+    #[test]
+    fn gg001_catches_unmarked_mutator_call() {
+        let src = r#"
+            pub fn sneaky(&mut self) {
+                self.free_slot(rid);
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG001"]);
+        assert!(f[0].message.contains("without"));
+    }
+
+    #[test]
+    fn gg001_accepts_compliant_rewrite_site() {
+        let src = r#"
+            // audit: geometry-rewrite
+            pub fn split_region(&mut self) {
+                self.bump_epoch();
+                self.rewrite_geometry(rid, &old, new);
+                self.alloc_slot(entry);
+            }
+        "#;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg001_respects_custom_requires_clause() {
+        let src = r#"
+            // audit: geometry-rewrite requires = bump_epoch, special_update
+            pub fn custom(&mut self) {
+                self.bump_epoch();
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG001"]);
+        assert!(f[0].message.contains("special_update"));
+    }
+
+    #[test]
+    fn gg001_ignores_definitions_and_tests() {
+        let src = r#"
+            fn bump_epoch(&mut self) { self.epoch += 1; }
+            fn rewrite_geometry(&mut self) {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn probes_mutators() { t.free_slot(rid); }
+            }
+        "#;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg002_catches_hot_path_allocations() {
+        let src = r#"
+            #[hot_path]
+            fn probe(&self) -> Vec<u32> {
+                let a = Vec::new();
+                let b = self.hops.clone();
+                let c: Vec<u32> = it.collect();
+                let d = vec![0u8; 4];
+                b.to_vec()
+            }
+        "#;
+        let f = lint_source("crates/core/src/routing.rs", src);
+        assert_eq!(rules_of(&f), vec!["GG002"; 5]);
+    }
+
+    #[test]
+    fn gg002_ignores_unmarked_and_cold_helpers() {
+        let src = r#"
+            fn cold(&self) -> Vec<u32> { self.hops.clone() }
+            #[hot_path]
+            fn hot(&self, scratch: &mut RouteScratch) -> u32 {
+                scratch.grow(self.len());
+                self.stamps[slot]
+            }
+        "#;
+        assert!(lint_source("crates/core/src/routing.rs", src).is_empty());
+    }
+
+    #[test]
+    fn gg003_catches_core_unwrap() {
+        let src = r#"
+            pub fn locate(&self, p: Point) -> RegionId {
+                self.region(rid).unwrap()
+            }
+        "#;
+        let f = lint_source("crates/core/src/join.rs", src);
+        assert_eq!(rules_of(&f), vec!["GG003"]);
+    }
+
+    #[test]
+    fn gg003_requires_invariant_documented_expect() {
+        let bad = r#"fn f() { x.expect("candidate"); }"#;
+        let good = r#"fn f() { x.expect("invariant: candidates are live regions"); }"#;
+        assert_eq!(rules_of(&lint_source(CORE_PATH, bad)), vec!["GG003"]);
+        assert!(lint_source(CORE_PATH, good).is_empty());
+    }
+
+    #[test]
+    fn gg003_skips_tests_comments_strings_and_other_crates() {
+        let in_test = r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { x.unwrap(); }
+            }
+            #[test]
+            fn standalone() { y.unwrap(); }
+        "#;
+        assert!(lint_source(CORE_PATH, in_test).is_empty());
+        let disguised = r#"
+            /// Call `.unwrap()` at your peril.
+            fn f() { let s = ".unwrap()"; } // .unwrap()
+        "#;
+        assert!(lint_source(CORE_PATH, disguised).is_empty());
+        let other_crate = r#"fn f() { x.unwrap(); }"#;
+        assert!(lint_source("crates/geometry/src/region.rs", other_crate).is_empty());
+    }
+
+    #[test]
+    fn gg003_ignores_unwrap_or_family() {
+        let src = r#"fn f() { x.unwrap_or(0); y.unwrap_or_else(|| 1); z.unwrap_or_default(); }"#;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg004_catches_missing_forbid() {
+        let src = "pub fn f() {}";
+        let f = lint_source("crates/core/src/lib.rs", src);
+        assert_eq!(rules_of(&f), vec!["GG004"]);
+        // Non-root files are exempt.
+        assert!(lint_source("crates/core/src/join.rs", src).is_empty());
+    }
+
+    #[test]
+    fn gg004_accepts_forbid() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() {}";
+        assert!(lint_source("src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn gg005_catches_epoch_write_outside_bump() {
+        let src = r#"
+            fn merge(&mut self) { self.epoch += 1; }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG005"]);
+    }
+
+    #[test]
+    fn gg005_accepts_bump_epoch_and_reads() {
+        let src = r#"
+            fn bump_epoch(&mut self) { self.epoch += 1; }
+            fn epoch(&self) -> u64 { self.epoch }
+            fn key(&self, t: &Topology) -> (u64, u64) {
+                (t.instance_id(), t.epoch())
+            }
+        "#;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn lexer_handles_raw_strings_lifetimes_and_chars() {
+        let src = r##"
+            fn f<'a>(x: &'a str) -> char {
+                let s = r#"has ".unwrap()" inside"#;
+                let b = b"bytes";
+                let c = '\n';
+                let d = 'x';
+                'outer: loop { break 'outer; }
+                c
+            }
+        "##;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn rule_table_is_consistent() {
+        for r in RULES {
+            assert!(r.id.starts_with("GG"));
+            assert!(!r.summary.is_empty());
+            assert!(!r.hint.is_empty());
+            assert_eq!(hint(r.id), r.hint);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! `geogrid-audit` binary: lints the workspace's own sources and exits
+//! non-zero when any project rule is violated. Wired up as the
+//! `cargo lint-all` alias (see `.cargo/config.toml`) and run by the CI
+//! `lint` job alongside clippy.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use geogrid_audit::{find_workspace_root, hint, lint_workspace, RULES};
+
+const USAGE: &str = "\
+geogrid-audit: offline static-analysis pass over the GeoGrid workspace
+
+USAGE:
+    cargo lint-all [-- OPTIONS]
+
+OPTIONS:
+    --root <dir>    lint the workspace rooted at <dir> instead of
+                    discovering it from the current directory
+    --list-rules    print the rule catalog (ids, summaries, fix-it hints)
+    -q, --quiet     print findings only, no summary line
+    -h, --help      this text
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("error: --root needs a directory argument");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{}  {}\n       fix: {}", r.id, r.summary, r.hint);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no workspace Cargo.toml found above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let findings = match lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "error: failed to read sources under {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &findings {
+        println!(
+            "{} {}:{}\n  {}\n  fix: {}\n",
+            f.rule,
+            f.path,
+            f.line,
+            f.message,
+            hint(f.rule)
+        );
+    }
+    if findings.is_empty() {
+        if !quiet {
+            println!("geogrid-audit: clean ({} rules, 0 findings)", RULES.len());
+        }
+        ExitCode::SUCCESS
+    } else {
+        if !quiet {
+            println!("geogrid-audit: {} finding(s)", findings.len());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -83,7 +83,9 @@ fn bench_routing(c: &mut Criterion) {
                 b.iter(|| {
                     i = i.wrapping_add(1);
                     let from = sources[(i as usize).wrapping_mul(7) % sources.len()];
-                    black_box(routing::route_into(topo, from, hotspot_target(i), &mut scratch).unwrap())
+                    black_box(
+                        routing::route_into(topo, from, hotspot_target(i), &mut scratch).unwrap(),
+                    )
                 })
             },
         );

@@ -120,7 +120,12 @@ fn main() {
         let speedup = r.cold_ns_per_route / r.warm_ns_per_route;
         println!(
             "{:>8} {:>14.0} {:>14.0} {:>8.1}x {:>10.2} {:>9.3}",
-            r.regions, r.cold_ns_per_route, r.warm_ns_per_route, speedup, r.hops_mean, r.cache_hit_rate
+            r.regions,
+            r.cold_ns_per_route,
+            r.warm_ns_per_route,
+            speedup,
+            r.hops_mean,
+            r.cache_hit_rate
         );
         entries.push(format!(
             "    {{\n      \"regions\": {},\n      \"cold_ns_per_route\": {:.1},\n      \"warm_ns_per_route\": {:.1},\n      \"speedup\": {:.2},\n      \"hops_mean\": {:.3},\n      \"cache_hit_rate\": {:.4}\n    }}",

@@ -89,7 +89,9 @@ impl AdaptationEngine {
     ) -> Result<(), CoreError> {
         match plan.mechanism {
             Mechanism::StealSecondary | Mechanism::StealRemoteSecondary => {
-                let donor = plan.partner.expect("steal has a donor");
+                let donor = plan
+                    .partner
+                    .expect("invariant: plan_for_region always sets a donor on steal plans");
                 let stolen = topo.take_secondary(donor)?;
                 topo.set_secondary(plan.region, stolen)?;
                 // The stolen (stronger) node becomes primary; the old
@@ -97,11 +99,15 @@ impl AdaptationEngine {
                 topo.swap_roles(plan.region)?;
             }
             Mechanism::SwitchPrimaries | Mechanism::SwitchPrimaryWithRemotePrimary => {
-                let partner = plan.partner.expect("switch has a partner");
+                let partner = plan
+                    .partner
+                    .expect("invariant: plan_for_region always sets a partner on switch plans");
                 topo.swap_primaries(plan.region, partner)?;
             }
             Mechanism::MergeWithNeighbor => {
-                let neighbor = plan.partner.expect("merge has a neighbor");
+                let neighbor = plan
+                    .partner
+                    .expect("invariant: plan_for_region always sets the neighbor on merge plans");
                 let own = topo
                     .region(plan.region)
                     .ok_or(CoreError::UnknownRegion(plan.region))?;
@@ -132,7 +138,9 @@ impl AdaptationEngine {
                 loads.on_split(topo, grid, plan.region, created);
             }
             Mechanism::SwitchPrimaryWithSecondary | Mechanism::SwitchPrimaryWithRemoteSecondary => {
-                let donor = plan.partner.expect("switch has a donor");
+                let donor = plan.partner.expect(
+                    "invariant: plan_for_region always sets a donor on secondary-switch plans",
+                );
                 topo.switch_primary_with_secondary(plan.region, donor)?;
             }
         }
@@ -157,7 +165,7 @@ impl AdaptationEngine {
             }
             if let Some(plan) = plan_for_region(topo, loads, &self.config, rid) {
                 self.apply(topo, grid, loads, &plan)
-                    .expect("fresh plan applies cleanly");
+                    .expect("invariant: a freshly planned mechanism applies to the topology it was planned on");
                 applied.push(AppliedAdaptation { plan });
             }
         }
@@ -215,7 +223,7 @@ impl AdaptationEngine {
                 }
                 if let Some(plan) = plan_for_region(topo, loads, &self.config, rid) {
                     self.apply(topo, grid, loads, &plan)
-                        .expect("fresh plan applies cleanly");
+                        .expect("invariant: a freshly planned mechanism applies to the topology it was planned on");
                     out.push(loads.summary(topo));
                     any = true;
                 }

@@ -69,7 +69,7 @@ pub fn plan_steal_secondary(
             loads
                 .index_of(topo, a)
                 .partial_cmp(&loads.index_of(topo, b))
-                .expect("finite indexes")
+                .expect("invariant: load indexes are finite (capacities are positive and finite)")
                 .then_with(|| a.cmp(&b))
         })
         .map(|donor| AdaptationPlan {
@@ -199,7 +199,7 @@ pub fn plan_switch_with_secondary(topo: &Topology, rid: RegionId) -> Option<Adap
         })
         .max_by(|a, b| {
             a.0.partial_cmp(&b.0)
-                .expect("finite capacities")
+                .expect("invariant: capacities are finite (NodeInfo::new enforces it)")
                 .then_with(|| b.1.cmp(&a.1))
         })
         .map(|(_, donor)| AdaptationPlan {
@@ -235,7 +235,7 @@ pub fn plan_steal_remote(
             loads
                 .index_of(topo, a)
                 .partial_cmp(&loads.index_of(topo, b))
-                .expect("finite indexes")
+                .expect("invariant: load indexes are finite (capacities are positive and finite)")
                 .then_with(|| a.cmp(&b))
         })
         .map(|donor| AdaptationPlan {
@@ -267,7 +267,7 @@ pub fn plan_switch_with_remote_secondary(
         })
         .max_by(|a, b| {
             a.0.partial_cmp(&b.0)
-                .expect("finite capacities")
+                .expect("invariant: capacities are finite (NodeInfo::new enforces it)")
                 .then_with(|| b.1.cmp(&a.1))
         })
         .map(|(_, donor)| AdaptationPlan {

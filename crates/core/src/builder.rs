@@ -89,7 +89,9 @@ impl NetworkBuilder {
         let coord = self.placement.sample(&mut rng, self.space);
         let capacity = self.capacities.sample(&mut rng);
         let first = topo.register_node(coord, capacity);
-        let root = topo.bootstrap(first).expect("fresh topology");
+        let root = topo
+            .bootstrap(first)
+            .expect("invariant: bootstrap over the topology this builder just created cannot fail");
         let mut net = BuiltNetwork {
             topology: topo,
             rng,
@@ -153,14 +155,22 @@ impl BuiltNetwork {
             entry = self.live_regions[self.rng.random_range(0..self.live_regions.len())];
         }
         let (node, outcome) = match self.mode {
-            Mode::Basic => {
-                join::join_basic_with(&mut self.topology, entry, coord, capacity, &mut self.scratch)
-            }
-            Mode::DualPeer => {
-                join::join_dual_with(&mut self.topology, entry, coord, capacity, &mut self.scratch)
-            }
+            Mode::Basic => join::join_basic_with(
+                &mut self.topology,
+                entry,
+                coord,
+                capacity,
+                &mut self.scratch,
+            ),
+            Mode::DualPeer => join::join_dual_with(
+                &mut self.topology,
+                entry,
+                coord,
+                capacity,
+                &mut self.scratch,
+            ),
         }
-        .expect("join over a valid topology");
+        .expect("invariant: joins over a builder-maintained topology cannot fail");
         if let Some(created) = outcome.created_region() {
             self.live_regions.push(created);
         }

@@ -758,7 +758,9 @@ impl NodeEngine {
                 if !still_claimable {
                     continue;
                 }
-                let merged = mine.merge(&gone.region).expect("checked");
+                let merged = mine
+                    .merge(&gone.region)
+                    .expect("invariant: still_claimable re-verified the rectangles merge");
                 owner.region = merged;
                 let entry = NeighborInfo {
                     primary: self.info,
@@ -809,7 +811,7 @@ impl NodeEngine {
                                 .map(|(_, v)| *v)
                                 .unwrap_or(f64::INFINITY);
                             ia.partial_cmp(&ib)
-                                .expect("finite")
+                                .expect("invariant: workload indexes are finite (capacities are positive and finite)")
                                 .then_with(|| a.primary.id().cmp(&b.primary.id()))
                         })
                         .map(|n| n.primary.id());
@@ -1131,7 +1133,10 @@ impl NodeEngine {
                     n.primary.id(),
                 )
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .min_by(|a, b| {
+                a.partial_cmp(b)
+                    .expect("invariant: distances are finite (regions and coords are finite)")
+            })
             .map(|(_, _, id)| id)
     }
 
@@ -1290,7 +1295,7 @@ impl NodeEngine {
                 victim = Some((cap, Some(n.primary.id())));
             }
         }
-        match victim.expect("set above") {
+        match victim.expect("invariant: victim starts as Some(self) and is only replaced") {
             (_, None) => self.split_with_peer_and_place(now, Some(joiner)),
             (_, Some(target)) => vec![Effect::Send {
                 to: target,
@@ -1673,7 +1678,10 @@ impl NodeEngine {
                 .neighbors
                 .iter()
                 .map(|n| (n.region.distance_to_point(target), n.primary.id()))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+                .min_by(|a, b| {
+                    a.partial_cmp(b)
+                        .expect("invariant: distances are finite (regions and coords are finite)")
+                })
                 .map(|(_, id)| id);
             return match next {
                 Some(next) => vec![Effect::Send {
@@ -1754,7 +1762,10 @@ impl NodeEngine {
                 .neighbors
                 .iter()
                 .map(|n| (n.region.distance_to_point(target), n.primary.id()))
-                .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+                .min_by(|a, b| {
+                    a.partial_cmp(b)
+                        .expect("invariant: distances are finite (regions and coords are finite)")
+                })
                 .map(|(_, id)| id);
             return match next {
                 Some(next) => vec![Effect::Send {

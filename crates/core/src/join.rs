@@ -218,17 +218,30 @@ pub fn join_dual_with(
         .copied()
         .filter(|&c| topo.region(c).is_some_and(|e| !e.is_full()))
         .min_by(|&a, &b| {
-            let ca = capacity_of(topo, topo.region(a).expect("candidate").primary());
-            let cb = capacity_of(topo, topo.region(b).expect("candidate").primary());
+            let ca = capacity_of(
+                topo,
+                topo.region(a)
+                    .expect("invariant: candidates are filtered to live regions")
+                    .primary(),
+            );
+            let cb = capacity_of(
+                topo,
+                topo.region(b)
+                    .expect("invariant: candidates are filtered to live regions")
+                    .primary(),
+            );
             ca.partial_cmp(&cb)
-                .expect("finite capacities")
+                .expect("invariant: capacities are finite (NodeInfo::new enforces it)")
                 .then_with(|| a.cmp(&b))
         });
 
     if let Some(target) = half_full {
         let joiner = topo.register_node(coord, capacity);
         topo.set_secondary(target, joiner)?;
-        let incumbent = topo.region(target).expect("candidate").primary();
+        let incumbent = topo
+            .region(target)
+            .expect("invariant: candidates are filtered to live regions")
+            .primary();
         if capacity > capacity_of(topo, incumbent) {
             // The new node is stronger: after copying state it takes over
             // as primary (§2.3, "Node Join").
@@ -245,10 +258,20 @@ pub fn join_dual_with(
             .copied()
             .filter(|&c| topo.region(c).is_some_and(|e| is_splittable(&e.region())))
             .min_by(|&a, &b| {
-                let ca = capacity_of(topo, topo.region(a).expect("candidate").primary());
-                let cb = capacity_of(topo, topo.region(b).expect("candidate").primary());
+                let ca = capacity_of(
+                    topo,
+                    topo.region(a)
+                        .expect("invariant: candidates are filtered to live regions")
+                        .primary(),
+                );
+                let cb = capacity_of(
+                    topo,
+                    topo.region(b)
+                        .expect("invariant: candidates are filtered to live regions")
+                        .primary(),
+                );
                 ca.partial_cmp(&cb)
-                    .expect("finite capacities")
+                    .expect("invariant: capacities are finite (NodeInfo::new enforces it)")
                     .then_with(|| a.cmp(&b))
             })
     };
@@ -264,7 +287,10 @@ pub fn join_dual_with(
                 if !e.is_full() {
                     let joiner = topo.register_node(coord, capacity);
                     topo.set_secondary(c, joiner)?;
-                    let incumbent = topo.region(c).expect("found").primary();
+                    let incumbent = topo
+                        .region(c)
+                        .expect("invariant: ring-walk candidates are live regions")
+                        .primary();
                     if capacity > capacity_of(topo, incumbent) {
                         topo.swap_roles(c)?;
                         return Ok((joiner, JoinOutcome::FilledPrimary { region: c }));
@@ -279,9 +305,13 @@ pub fn join_dual_with(
             found.ok_or(CoreError::RoutingFailed { hops: 0 })?
         }
     };
-    let entry_v = topo.region(victim).expect("candidate");
+    let entry_v = topo
+        .region(victim)
+        .expect("invariant: candidates are filtered to live regions");
     let primary = entry_v.primary();
-    let secondary = entry_v.secondary().expect("victim is full");
+    let secondary = entry_v
+        .secondary()
+        .expect("invariant: the split victim is full — no half-full candidate existed");
     let new_half = topo.split_region(victim, primary, secondary)?;
 
     // The joiner pairs with the weaker of the two half-owners.
@@ -292,7 +322,10 @@ pub fn join_dual_with(
     };
     let joiner = topo.register_node(coord, capacity);
     topo.set_secondary(weak_half, joiner)?;
-    let incumbent = topo.region(weak_half).expect("half").primary();
+    let incumbent = topo
+        .region(weak_half)
+        .expect("invariant: both split halves are live")
+        .primary();
     let as_primary = capacity > capacity_of(topo, incumbent);
     if as_primary {
         topo.swap_roles(weak_half)?;

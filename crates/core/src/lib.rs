@@ -16,6 +16,11 @@
 //!   owners, and the neighbor graph, with split/merge/ownership operations
 //!   and invariant checking. Experiments and the adaptation engine operate
 //!   on this model directly.
+//! * [`audit`] — structured invariant auditing: typed
+//!   [`Violation`](audit::Violation)s from a full multi-violation sweep
+//!   ([`Topology::audit`]), plus the stateful [`TopologyAuditor`](audit::TopologyAuditor)
+//!   that also tracks epoch monotonicity. The static side of the same
+//!   story (the `cargo lint-all` rules) lives in `crates/audit`.
 //! * [`routing`] — greedy geographic forwarding and query-region fan-out,
 //!   as pure decisions over topology views.
 //! * [`join`] / [`builder`] — the paper's bootstrap protocols: basic
@@ -54,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod balance;
 pub mod builder;
 pub mod engine;

@@ -66,6 +66,7 @@ use std::cell::RefCell;
 use std::collections::HashSet;
 
 use geogrid_geometry::{Point, Region};
+use geogrid_marks::hot_path;
 
 use crate::topology::RegionEntry;
 use crate::{CoreError, RegionId, Topology};
@@ -407,10 +408,16 @@ pub fn next_hop(
         .copied()
         .filter(|n| !visited.contains(n))
         .map(|n| {
-            let r = topo.region(n).expect("live neighbor").region();
+            let r = topo
+                .region(n)
+                .expect("invariant: neighbor lists reference live regions")
+                .region();
             (r.distance_to_point(target), r.center().distance(target), n)
         })
-        .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+        .min_by(|a, b| {
+            a.partial_cmp(b)
+                .expect("invariant: distances are finite (regions and coords are finite)")
+        })
         .map(|(_, _, n)| n)
 }
 
@@ -420,6 +427,7 @@ pub fn next_hop(
 /// (what this query follows). Orders by the same
 /// `(closest-point distance, center distance, id)` key as [`next_hop`].
 #[inline]
+#[hot_path]
 fn scan_next_hop(
     topo: &Topology,
     entry: &RegionEntry,
@@ -455,6 +463,7 @@ fn scan_next_hop(
 /// entry to store — the sole surviving neighbor's raw id, or
 /// [`SLOT_SCAN`] when no single neighbor dominates the cell — and the
 /// best unvisited neighbor for this query's exact target.
+#[hot_path]
 fn scan_and_filter(
     topo: &Topology,
     entry: &RegionEntry,
@@ -500,7 +509,10 @@ fn scan_and_filter(
     }
     let value = match dominant {
         Some(n) => {
-            debug_assert!((n.index()) < SLOT_SCAN as usize, "slot collides with sentinel");
+            debug_assert!(
+                (n.index()) < SLOT_SCAN as usize,
+                "slot collides with sentinel"
+            );
             n.as_u32() as u16
         }
         // No neighbors at all: nothing to dominate, nothing to cache.
@@ -513,6 +525,7 @@ fn scan_and_filter(
 /// neighbors within the `slack`-relative tie window of the best
 /// closest-point distance, ascending by id, written into `out` without
 /// allocating.
+#[hot_path]
 fn candidates_into_filtered(
     topo: &Topology,
     entry: &RegionEntry,
@@ -599,6 +612,7 @@ pub fn next_hop_candidates_into(
 /// # Errors
 ///
 /// Same conditions as [`route`].
+#[hot_path]
 pub fn route_into(
     topo: &Topology,
     from: RegionId,
@@ -637,7 +651,11 @@ pub fn route_into(
         let dest_cell = topo.grid_cell_of(target) as usize;
         topo.grid_cell_rect(dest_cell as u32)
             .filter(|r| r.contains_closed(target))
-            .and_then(|rect| scratch.promote_cell(dest_cell, slots).map(|slab| (rect, slab)))
+            .and_then(|rect| {
+                scratch
+                    .promote_cell(dest_cell, slots)
+                    .map(|slab| (rect, slab))
+            })
     };
     let mut current = from;
     scratch.hops.push(from);
@@ -765,6 +783,7 @@ pub fn route_into(
 /// # Errors
 ///
 /// Same conditions as [`route`].
+#[hot_path]
 pub fn route_randomized_into<R: rand::Rng + ?Sized>(
     topo: &Topology,
     from: RegionId,

@@ -16,7 +16,9 @@ use std::collections::HashMap;
 use std::fmt;
 
 use geogrid_geometry::{Point, Region, Space};
+use geogrid_marks::hot_path;
 
+use crate::audit::{Violation, ViolationKind};
 use crate::{CoreError, NodeId, NodeInfo, RegionId};
 
 /// The role a node holds in the region it co-owns.
@@ -110,6 +112,12 @@ struct GridIndex {
     /// Row-major `GRID_DIM × GRID_DIM` buckets; empty until the topology
     /// is given a space.
     cells: Vec<Vec<RegionId>>,
+    /// Total entries across all buckets. Lets the audit verify "no stale
+    /// or duplicate entry anywhere" in O(regions): if every live region is
+    /// present throughout its span *and* the total matches the sum of span
+    /// sizes, no cell can hold anything extra — the full 16k-cell reverse
+    /// sweep only runs when one of those cheap checks fails.
+    entries: usize,
 }
 
 impl GridIndex {
@@ -121,6 +129,7 @@ impl GridIndex {
             cell_w: b.width() / GRID_DIM as f64,
             cell_h: b.height() / GRID_DIM as f64,
             cells: vec![Vec::new(); GRID_DIM * GRID_DIM],
+            entries: 0,
         }
     }
 
@@ -164,6 +173,7 @@ impl GridIndex {
         for row in r0..=r1 {
             for col in c0..=c1 {
                 self.cells[row * GRID_DIM + col].push(rid);
+                self.entries += 1;
             }
         }
     }
@@ -175,6 +185,7 @@ impl GridIndex {
                 let cell = &mut self.cells[row * GRID_DIM + col];
                 if let Some(i) = cell.iter().position(|&x| x == rid) {
                     cell.swap_remove(i);
+                    self.entries -= 1;
                 }
             }
         }
@@ -227,6 +238,10 @@ pub struct Topology {
     /// is recycled; only live ids may be used to index. One cache line per
     /// slot (see [`SlotGeo`]) so a greedy neighbor probe costs one load.
     slot_geo: Vec<SlotGeo>,
+    /// Mutation counter driving the [`Self::debug_audit`] throttle.
+    /// Debug builds only; never part of equality or serialization.
+    #[cfg(debug_assertions)]
+    audit_tick: std::sync::atomic::AtomicU32,
 }
 
 /// Rectangle + center of one slot, padded to a cache line: the greedy
@@ -256,6 +271,8 @@ impl Clone for Topology {
             id: next_topology_id(),
             epoch: self.epoch,
             slot_geo: self.slot_geo.clone(),
+            #[cfg(debug_assertions)]
+            audit_tick: std::sync::atomic::AtomicU32::new(0),
         }
     }
 }
@@ -274,6 +291,8 @@ impl Default for Topology {
             id: next_topology_id(),
             epoch: 0,
             slot_geo: Vec::new(),
+            #[cfg(debug_assertions)]
+            audit_tick: std::sync::atomic::AtomicU32::new(0),
         }
     }
 }
@@ -295,7 +314,8 @@ impl Topology {
     /// Panics if the topology was built with `Default` and never given a
     /// space.
     pub fn space(&self) -> Space {
-        self.space.expect("topology has a space")
+        self.space
+            .expect("invariant: every topology outside Default::default() is built over a space")
     }
 
     /// Registers a node (not yet assigned to any region) and returns its
@@ -319,10 +339,11 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if called when the network already has regions.
+    // audit: geometry-rewrite
     pub fn bootstrap(&mut self, node: NodeId) -> Result<RegionId, CoreError> {
         assert!(self.region_count == 0, "bootstrap on a non-empty network");
         self.ensure_unassigned(node)?;
-        self.epoch += 1;
+        self.bump_epoch();
         let rid = self.alloc_slot(RegionEntry {
             region: self.space().bounds(),
             primary: node,
@@ -330,6 +351,7 @@ impl Topology {
             neighbors: Vec::new(),
         });
         self.assignments.insert(node, (rid, Role::Primary));
+        self.debug_audit();
         Ok(rid)
     }
 
@@ -367,6 +389,7 @@ impl Topology {
     /// The rectangle of the live region in `slot`, from the flat geometry
     /// mirror (no `Option` chasing). `slot` must index a live region.
     #[inline]
+    #[hot_path]
     pub fn slot_rect(&self, slot: usize) -> Region {
         self.slot_geo[slot].rect
     }
@@ -374,6 +397,7 @@ impl Topology {
     /// The center of the live region in `slot`, same contract as
     /// [`Self::slot_rect`].
     #[inline]
+    #[hot_path]
     pub fn slot_center(&self, slot: usize) -> Point {
         self.slot_geo[slot].center
     }
@@ -382,6 +406,7 @@ impl Topology {
     /// containing `p` — the destination key of the per-source route cache.
     /// Returns 0 when the topology has no space yet.
     #[inline]
+    #[hot_path]
     pub fn grid_cell_of(&self, p: Point) -> u32 {
         if self.grid.cells.is_empty() {
             return 0;
@@ -482,6 +507,7 @@ impl Topology {
     ///
     /// [`CoreError::OutOfSpace`] if `p` is outside the space, or
     /// [`CoreError::EmptyNetwork`] if there are no regions.
+    #[hot_path]
     pub fn locate(&self, p: Point) -> Result<RegionId, CoreError> {
         let space = self.space();
         if !space.covers(p) {
@@ -490,7 +516,7 @@ impl Topology {
         for &rid in self.grid.candidates(p) {
             let entry = self.slots[rid.index()]
                 .as_ref()
-                .expect("grid index lists only live regions");
+                .expect("invariant: the grid index lists only live regions");
             if entry.covers(p, space) {
                 return Ok(rid);
             }
@@ -517,7 +543,7 @@ impl Topology {
         out.retain(|&rid| {
             self.slots[rid.index()]
                 .as_ref()
-                .expect("grid index lists only live regions")
+                .expect("invariant: the grid index lists only live regions")
                 .region
                 .intersects(rect)
         });
@@ -541,6 +567,7 @@ impl Topology {
     ///   ids.
     /// * [`CoreError::WrongRole`] if `keep` is not the primary of `rid`, or
     ///   `give` is neither its secondary nor unassigned.
+    // audit: geometry-rewrite
     pub fn split_region(
         &mut self,
         rid: RegionId,
@@ -584,7 +611,7 @@ impl Topology {
 
         let old_neighbors = self.entry(rid)?.neighbors.clone();
         // Geometry changes from here on: invalidate epoch-keyed caches.
-        self.epoch += 1;
+        self.bump_epoch();
         // Rewrite the kept slot (and its grid cells: the kept half covers a
         // subset of the old rectangle's cells).
         self.rewrite_geometry(rid, &old_region, kept_half);
@@ -626,6 +653,7 @@ impl Topology {
         }
         self.entry_mut(rid)?.neighbors = kept_list;
         self.entry_mut(new_rid)?.neighbors = new_list;
+        self.debug_audit();
         Ok(new_rid)
     }
 
@@ -639,6 +667,7 @@ impl Topology {
     /// * [`CoreError::NotMergeable`] if the rectangles don't merge.
     /// * [`CoreError::WrongRole`] if `primary`/`secondary` are not among
     ///   the current owners of `a` and `b`.
+    // audit: geometry-rewrite
     pub fn merge_regions(
         &mut self,
         a: RegionId,
@@ -682,7 +711,7 @@ impl Topology {
         }
 
         // Geometry changes from here on: invalidate epoch-keyed caches.
-        self.epoch += 1;
+        self.bump_epoch();
         // Displace all owners, then install the named ones.
         let mut displaced = Vec::new();
         for owner in &owners {
@@ -713,6 +742,7 @@ impl Topology {
             entry.neighbors.push(a);
         }
         self.entry_mut(a)?.neighbors = neighbor_union;
+        self.debug_audit();
         Ok(displaced)
     }
 
@@ -734,6 +764,7 @@ impl Topology {
         }
         entry.secondary = Some(node);
         self.assignments.insert(node, (rid, Role::Secondary));
+        self.debug_audit();
         Ok(())
     }
 
@@ -747,6 +778,7 @@ impl Topology {
         let entry = self.entry_mut(rid)?;
         let node = entry.secondary.take().ok_or(CoreError::NoSecondary(rid))?;
         self.assignments.remove(&node);
+        self.debug_audit();
         Ok(node)
     }
 
@@ -762,6 +794,7 @@ impl Topology {
         self.entry_mut(b)?.primary = pa;
         self.assignments.insert(pa, (b, Role::Primary));
         self.assignments.insert(pb, (a, Role::Primary));
+        self.debug_audit();
         Ok(())
     }
 
@@ -783,6 +816,7 @@ impl Topology {
         self.entry_mut(b)?.secondary = Some(pa);
         self.assignments.insert(sb, (a, Role::Primary));
         self.assignments.insert(pa, (b, Role::Secondary));
+        self.debug_audit();
         Ok(())
     }
 
@@ -801,6 +835,7 @@ impl Topology {
         entry.secondary = Some(p);
         self.assignments.insert(s, (rid, Role::Primary));
         self.assignments.insert(p, (rid, Role::Secondary));
+        self.debug_audit();
         Ok(())
     }
 
@@ -826,10 +861,10 @@ impl Topology {
         let Some((rid, role)) = self.assignments.remove(&node) else {
             return Ok(None); // unassigned node
         };
-        match role {
+        let orphan = match role {
             Role::Secondary => {
                 self.entry_mut(rid)?.secondary = None;
-                Ok(None)
+                None
             }
             Role::Primary => {
                 let secondary = self.entry(rid)?.secondary;
@@ -839,12 +874,14 @@ impl Topology {
                         entry.primary = s;
                         entry.secondary = None;
                         self.assignments.insert(s, (rid, Role::Primary));
-                        Ok(None)
+                        None
                     }
-                    None => Ok(Some(rid)),
+                    None => Some(rid),
                 }
             }
-        }
+        };
+        self.debug_audit();
+        Ok(orphan)
     }
 
     /// Reassigns an orphaned region (whose primary was removed) to `node`,
@@ -861,17 +898,20 @@ impl Topology {
         self.ensure_unassigned(node)?;
         self.entry_mut(rid)?.primary = node;
         self.assignments.insert(node, (rid, Role::Primary));
+        self.debug_audit();
         Ok(())
     }
 
-    /// Checks every structural invariant; returns a description of the
-    /// first violation. Test/diagnostic use.
+    /// Audits every structural invariant and returns **all** violations
+    /// found, as typed [`Violation`]s (empty = healthy). Assert on
+    /// [`ViolationKind`]s, not message text, in tests.
     ///
     /// Invariants: regions tile the space exactly (areas sum, pairwise
     /// non-overlap); neighbor lists match edge contact exactly and are
     /// symmetric; owner assignments are mutually consistent; no node owns
     /// two slots; the grid spatial index lists every live region in exactly
-    /// the cells its closed rectangle spans.
+    /// the cells its closed rectangle spans; the flat geometry mirror
+    /// matches every live rectangle.
     ///
     /// Pairwise checks run per grid bucket rather than over all region
     /// pairs: two regions that overlap or share an edge necessarily share a
@@ -879,98 +919,185 @@ impl Topology {
     /// checking loses nothing while cutting the cost from O(regions²) to
     /// O(cells · occupancy²). Spurious neighbor-list entries (listed but
     /// not touching) are caught by walking each region's list directly.
-    pub fn validate(&self) -> Result<(), String> {
+    /// The expensive reverse grid sweep (every entry of every cell) runs
+    /// only when the cheap checks — forward span membership and the
+    /// entry-count totals — disagree; see [`ViolationKind::StaleGridBucket`].
+    ///
+    /// The audit never panics on a corrupted structure: it reports what it
+    /// can prove and skips what it cannot reach, so debug hooks and
+    /// property tests get the full damage picture from one call.
+    pub fn audit(&self) -> Vec<Violation> {
+        let mut v: Vec<Violation> = Vec::new();
         let space = self.space();
         let mut area = 0.0;
         let all: Vec<(RegionId, &RegionEntry)> = self.regions().collect();
         for (rid, e) in &all {
             area += e.region.area();
-            // Owners exist and agree with the assignment map.
-            match self.assignments.get(&e.primary) {
-                Some(&(r, Role::Primary)) if r == *rid => {}
-                other => {
-                    return Err(format!(
-                        "{rid}: primary {} has assignment {other:?}",
-                        e.primary
-                    ))
-                }
-            }
+            // Owners exist and agree with the assignment map. An owner
+            // missing from the node table entirely is the orphan transient
+            // (OrphanedOwner); a *registered* owner whose assignment
+            // disagrees is always a bug (DualPeerMismatch).
             if !self.nodes.contains_key(&e.primary) {
-                return Err(format!("{rid}: primary {} not registered", e.primary));
+                v.push(Violation::new(
+                    ViolationKind::OrphanedOwner(e.primary, *rid),
+                    format!("{rid}: primary {} not registered", e.primary),
+                ));
+            } else {
+                match self.assignments.get(&e.primary) {
+                    Some(&(r, Role::Primary)) if r == *rid => {}
+                    other => v.push(Violation::new(
+                        ViolationKind::DualPeerMismatch(e.primary, *rid),
+                        format!("{rid}: primary {} has assignment {other:?}", e.primary),
+                    )),
+                }
             }
             if let Some(s) = e.secondary {
-                match self.assignments.get(&s) {
-                    Some(&(r, Role::Secondary)) if r == *rid => {}
-                    other => return Err(format!("{rid}: secondary {s} has assignment {other:?}")),
+                if !self.nodes.contains_key(&s) {
+                    v.push(Violation::new(
+                        ViolationKind::OrphanedOwner(s, *rid),
+                        format!("{rid}: secondary {s} not registered"),
+                    ));
+                } else {
+                    match self.assignments.get(&s) {
+                        Some(&(r, Role::Secondary)) if r == *rid => {}
+                        other => v.push(Violation::new(
+                            ViolationKind::DualPeerMismatch(s, *rid),
+                            format!("{rid}: secondary {s} has assignment {other:?}"),
+                        )),
+                    }
                 }
                 if s == e.primary {
-                    return Err(format!("{rid}: primary and secondary are both {s}"));
+                    v.push(Violation::new(
+                        ViolationKind::DualPeerMismatch(s, *rid),
+                        format!("{rid}: primary and secondary are both {s}"),
+                    ));
                 }
             }
         }
         if (area - space.bounds().area()).abs() > 1e-6 {
-            return Err(format!(
-                "regions cover area {area}, space has {}",
-                space.bounds().area()
+            v.push(Violation::new(
+                ViolationKind::TessellationGap,
+                format!(
+                    "regions cover area {area}, space has {}",
+                    space.bounds().area()
+                ),
             ));
         }
-        // Grid-index exactness, both directions: every live region sits in
-        // every cell of its recomputed span, and every cell entry is a live
-        // region whose span covers that cell (no stale ids, no duplicates).
+        // Grid-index exactness, forward direction: every live region sits
+        // in every cell of its recomputed span. The same span walk doubles
+        // as the pairwise overlap/adjacency check (any overlapping or
+        // touching pair shares a cell, so checking each region against its
+        // co-bucketed peers loses nothing versus all-pairs — and pairs
+        // sharing several cells are checked once). While walking, total up
+        // the span sizes: if the forward check passes and the bucket
+        // totals match, no cell can hold a stale, dead, or duplicate
+        // entry, and the O(cells · occupancy) reverse sweep is skipped.
+        let mut expected_entries = 0usize;
+        let mut forward_clean = true;
+        let mut seen_pairs: std::collections::HashSet<(u32, u32)> =
+            std::collections::HashSet::new();
         for (rid, e) in &all {
             let (c0, c1, r0, r1) = self.grid.span(&e.region);
+            expected_entries += (c1 - c0 + 1) * (r1 - r0 + 1);
             for row in r0..=r1 {
                 for col in c0..=c1 {
-                    if !self.grid.cells[row * GRID_DIM + col].contains(rid) {
-                        return Err(format!("{rid} missing from grid cell ({col},{row})"));
+                    let cell = &self.grid.cells[row * GRID_DIM + col];
+                    if !cell.contains(rid) {
+                        forward_clean = false;
+                        v.push(Violation::new(
+                            ViolationKind::StaleGridBucket(*rid),
+                            format!("{rid} missing from grid cell ({col},{row})"),
+                        ));
+                    }
+                    for &other in cell {
+                        if other == *rid {
+                            continue;
+                        }
+                        let key = (
+                            rid.as_u32().min(other.as_u32()),
+                            rid.as_u32().max(other.as_u32()),
+                        );
+                        if !seen_pairs.insert(key) {
+                            continue;
+                        }
+                        // Dead co-bucketed entries are the sweep's problem.
+                        let Some(o) = self.region(other) else {
+                            continue;
+                        };
+                        if e.region.intersects(&o.region) {
+                            v.push(Violation::new(
+                                ViolationKind::TessellationOverlap(*rid, other),
+                                format!("{rid} and {other} overlap"),
+                            ));
+                        }
+                        let touching = e.region.touches_edge(&o.region);
+                        let a_lists_b = e.neighbors.contains(&other);
+                        let b_lists_a = o.neighbors.contains(rid);
+                        if touching != a_lists_b || touching != b_lists_a {
+                            v.push(Violation::new(
+                                ViolationKind::AsymmetricNeighborLink(*rid, other),
+                                format!(
+                                    "{rid}/{other}: touching={touching} lists=({a_lists_b},{b_lists_a})"
+                                ),
+                            ));
+                        }
                     }
                 }
             }
         }
-        for (i, cell) in self.grid.cells.iter().enumerate() {
-            let (col, row) = (i % GRID_DIM, i / GRID_DIM);
-            for (j, rid) in cell.iter().enumerate() {
-                let Some(e) = self.region(*rid) else {
-                    return Err(format!("grid cell ({col},{row}) lists dead region {rid}"));
-                };
-                let (c0, c1, r0, r1) = self.grid.span(&e.region);
-                if !(c0..=c1).contains(&col) || !(r0..=r1).contains(&row) {
-                    return Err(format!(
-                        "grid cell ({col},{row}) lists {rid} outside its span"
-                    ));
-                }
-                if cell[..j].contains(rid) {
-                    return Err(format!("grid cell ({col},{row}) lists {rid} twice"));
+        let actual_entries: usize = self.grid.cells.iter().map(Vec::len).sum();
+        if self.grid.entries != actual_entries {
+            v.push(Violation::new(
+                ViolationKind::GridCounterDrift {
+                    counted: self.grid.entries,
+                    actual: actual_entries,
+                },
+                format!(
+                    "grid entry counter says {} but cells hold {actual_entries}",
+                    self.grid.entries
+                ),
+            ));
+        }
+        if !forward_clean || actual_entries != expected_entries {
+            // Reverse sweep: name the stale/dead/duplicate entries.
+            for (i, cell) in self.grid.cells.iter().enumerate() {
+                let (col, row) = (i % GRID_DIM, i / GRID_DIM);
+                for (j, rid) in cell.iter().enumerate() {
+                    match self.region(*rid) {
+                        None => v.push(Violation::new(
+                            ViolationKind::StaleGridBucket(*rid),
+                            format!("grid cell ({col},{row}) lists dead region {rid}"),
+                        )),
+                        Some(e) => {
+                            let (c0, c1, r0, r1) = self.grid.span(&e.region);
+                            if !(c0..=c1).contains(&col) || !(r0..=r1).contains(&row) {
+                                v.push(Violation::new(
+                                    ViolationKind::StaleGridBucket(*rid),
+                                    format!("grid cell ({col},{row}) lists {rid} outside its span"),
+                                ));
+                            }
+                        }
+                    }
+                    if cell[..j].contains(rid) {
+                        v.push(Violation::new(
+                            ViolationKind::StaleGridBucket(*rid),
+                            format!("grid cell ({col},{row}) lists {rid} twice"),
+                        ));
+                    }
                 }
             }
         }
         // Geometry mirrors agree with the slot table for every live region.
         for (rid, e) in &all {
-            if self.slot_geo[rid.index()].rect != e.region
-                || self.slot_geo[rid.index()].center != e.region.center()
-            {
-                return Err(format!("{rid}: rect/center geometry mirror is stale"));
-            }
-        }
-        // Pairwise overlap/adjacency, bucket-locally (see the doc comment:
-        // any overlapping or touching pair shares a cell).
-        for cell in &self.grid.cells {
-            for (i, &rid_a) in cell.iter().enumerate() {
-                let a = self.region(rid_a).expect("checked above");
-                for &rid_b in &cell[i + 1..] {
-                    let b = self.region(rid_b).expect("checked above");
-                    if a.region.intersects(&b.region) {
-                        return Err(format!("{rid_a} and {rid_b} overlap"));
-                    }
-                    let touching = a.region.touches_edge(&b.region);
-                    let a_lists_b = a.neighbors.contains(&rid_b);
-                    let b_lists_a = b.neighbors.contains(&rid_a);
-                    if touching != a_lists_b || touching != b_lists_a {
-                        return Err(format!(
-                            "{rid_a}/{rid_b}: touching={touching} lists=({a_lists_b},{b_lists_a})"
-                        ));
-                    }
-                }
+            let stale = match self.slot_geo.get(rid.index()) {
+                Some(g) => g.rect != e.region || g.center != e.region.center(),
+                None => true,
+            };
+            if stale {
+                v.push(Violation::new(
+                    ViolationKind::SlotMirrorDrift(*rid),
+                    format!("{rid}: rect/center geometry mirror is stale"),
+                ));
             }
         }
         // Neighbor lists can also be wrong about far-apart regions (which
@@ -978,29 +1105,121 @@ impl Topology {
         for (rid, e) in &all {
             for (j, n) in e.neighbors.iter().enumerate() {
                 let Some(ne) = self.region(*n) else {
-                    return Err(format!("{rid} lists dead neighbor {n}"));
+                    v.push(Violation::new(
+                        ViolationKind::AsymmetricNeighborLink(*rid, *n),
+                        format!("{rid} lists dead neighbor {n}"),
+                    ));
+                    continue;
                 };
                 if !e.region.touches_edge(&ne.region) {
-                    return Err(format!("{rid} lists non-touching neighbor {n}"));
+                    v.push(Violation::new(
+                        ViolationKind::AsymmetricNeighborLink(*rid, *n),
+                        format!("{rid} lists non-touching neighbor {n}"),
+                    ));
                 }
                 if e.neighbors[..j].contains(n) {
-                    return Err(format!("{rid} lists neighbor {n} twice"));
+                    v.push(Violation::new(
+                        ViolationKind::AsymmetricNeighborLink(*rid, *n),
+                        format!("{rid} lists neighbor {n} twice"),
+                    ));
                 }
             }
         }
         for (node, (rid, role)) in &self.assignments {
             let Some(e) = self.region(*rid) else {
-                return Err(format!("{node} assigned to dead region {rid}"));
+                v.push(Violation::new(
+                    ViolationKind::DualPeerMismatch(*node, *rid),
+                    format!("{node} assigned to dead region {rid}"),
+                ));
+                continue;
             };
             let holds = match role {
                 Role::Primary => e.primary == *node,
                 Role::Secondary => e.secondary == Some(*node),
             };
             if !holds {
-                return Err(format!("{node} claims {role} of {rid} but slot disagrees"));
+                v.push(Violation::new(
+                    ViolationKind::DualPeerMismatch(*node, *rid),
+                    format!("{node} claims {role} of {rid} but slot disagrees"),
+                ));
             }
         }
-        Ok(())
+        v
+    }
+
+    /// Convenience wrapper over [`Self::audit`]: `Ok` when the structure is
+    /// healthy, otherwise an error message listing **every** violation
+    /// (semicolon-separated). Prefer `audit()` + kind matching in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns all violations found, rendered as one string.
+    pub fn validate(&self) -> Result<(), String> {
+        let violations = self.audit();
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations
+                .iter()
+                .map(Violation::to_string)
+                .collect::<Vec<_>>()
+                .join("; "))
+        }
+    }
+
+    /// Advances the geometry epoch. This is the **only** function allowed
+    /// to write the epoch field (audit rule GG005), and it is called at
+    /// exactly the three geometry-rewrite sites — [`Self::bootstrap`],
+    /// [`Self::split_region`], [`Self::merge_regions`] — which rule GG001
+    /// holds to the full three-site contract (epoch bump + grid index +
+    /// slot mirror).
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Debug-build hook run after every mutation: full structural audit,
+    /// panicking on any violation *except* the legal orphan transient
+    /// ([`ViolationKind::OrphanedOwner`] — `remove_node` hands orphaned
+    /// regions back to the caller for repair, so the structure is allowed
+    /// to carry them between mutations). Compiles to nothing in release
+    /// builds, so protocol benchmarks and experiment binaries are
+    /// unaffected. Set `GEOGRID_SKIP_DEBUG_AUDIT=1` to disable, e.g. for
+    /// tests that deliberately drive corrupted states.
+    #[inline]
+    fn debug_audit(&self) {
+        #[cfg(debug_assertions)]
+        {
+            use std::sync::OnceLock;
+            static SKIP: OnceLock<bool> = OnceLock::new();
+            if *SKIP.get_or_init(|| std::env::var_os("GEOGRID_SKIP_DEBUG_AUDIT").is_some()) {
+                return;
+            }
+            // The full audit is Ω(grid entries ≈ 16k) per call however few
+            // regions exist, and test loops drive thousands of mutations.
+            // Audit each instance's first mutations exhaustively (unit-test
+            // scenarios get full per-mutation coverage), then sample every
+            // 17th. The model-explorer property test audits every step
+            // explicitly through TopologyAuditor, unthrottled.
+            let tick = self
+                .audit_tick
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if tick >= 8 && !tick.is_multiple_of(17) {
+                return;
+            }
+            let bad: Vec<Violation> = self
+                .audit()
+                .into_iter()
+                .filter(|v| !matches!(v.kind, ViolationKind::OrphanedOwner(..)))
+                .collect();
+            assert!(
+                bad.is_empty(),
+                "post-mutation topology audit failed:\n{}",
+                bad.iter()
+                    .map(|v| format!("  {v}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            );
+        }
     }
 
     fn ensure_unassigned(&self, node: NodeId) -> Result<(), CoreError> {
@@ -1266,10 +1485,18 @@ mod tests {
         assert_eq!(t.remove_node(n).unwrap(), None);
         assert_eq!(t.region(r).unwrap().primary(), s2);
         assert!(!t.region(r).unwrap().is_full());
-        // Sole owner departs: orphan reported.
+        // Sole owner departs: orphan reported — as the typed orphan
+        // transient, and nothing else.
         assert_eq!(t.remove_node(s2).unwrap(), Some(r));
-        t.validate().unwrap_err(); // orphan: primary not registered
-                                   // Adopt to repair.
+        let violations = t.audit();
+        assert!(
+            !violations.is_empty()
+                && violations.iter().all(
+                    |v| matches!(v.kind, ViolationKind::OrphanedOwner(n, rr) if n == s2 && rr == r)
+                ),
+            "expected only the orphan transient, got {violations:?}"
+        );
+        // Adopt to repair.
         let a = t.register_node(Point::new(7.0, 7.0), 10.0);
         t.adopt_region(r, a).unwrap();
         t.validate().unwrap();
@@ -1423,6 +1650,190 @@ mod tests {
         assert!(t.split_region(nr, n, j).is_err());
         assert_eq!(t.epoch(), 3);
         t.validate().unwrap();
+    }
+
+    /// A healthy two-region topology for the corruption tests below.
+    fn two_regions() -> (Topology, NodeId, RegionId, RegionId) {
+        let (mut t, n, r) = boot();
+        let j = t.register_node(Point::new(50.0, 50.0), 10.0);
+        let nr = t.split_region(r, n, j).expect("split");
+        (t, n, r, nr)
+    }
+
+    #[test]
+    fn audit_flags_slot_mirror_drift() {
+        let (mut t, _, r, _) = two_regions();
+        t.slot_geo[r.index()].center = Point::new(-1.0, -1.0);
+        let v = t.audit();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(matches!(v[0].kind, ViolationKind::SlotMirrorDrift(rr) if rr == r));
+    }
+
+    #[test]
+    fn audit_flags_stale_grid_bucket_and_counter_drift() {
+        let (mut t, _, r, nr) = two_regions();
+        // Plant the kept region's id in a cell far outside its span: the
+        // bucket totals stop matching the incremental counter, which both
+        // reports the drift and forces the precise reverse sweep.
+        let far = t.grid.cell_of(t.region(nr).unwrap().region().center());
+        t.grid.cells[far].push(r);
+        let v = t.audit();
+        assert!(
+            v.iter().any(
+                |x| matches!(x.kind, ViolationKind::GridCounterDrift { counted, actual }
+                    if actual == counted + 1)
+            ),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::StaleGridBucket(rr) if rr == r)),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_missing_grid_entry() {
+        let (mut t, _, r, _) = two_regions();
+        let home = t.grid.cell_of(t.region(r).unwrap().region().center());
+        let pos = t.grid.cells[home]
+            .iter()
+            .position(|&x| x == r)
+            .expect("region is indexed in its own center cell");
+        t.grid.cells[home].swap_remove(pos);
+        t.grid.entries -= 1; // keep the counter honest: only the entry is lost
+        let v = t.audit();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::StaleGridBucket(rr) if rr == r)),
+            "{v:?}"
+        );
+        assert!(
+            !v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::GridCounterDrift { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_asymmetric_neighbor_link() {
+        let (mut t, _, r, nr) = two_regions();
+        let e = t.slots[r.index()].as_mut().unwrap();
+        e.neighbors.retain(|&x| x != nr);
+        let v = t.audit();
+        assert!(!v.is_empty());
+        assert!(
+            v.iter().all(|x| matches!(
+                x.kind,
+                ViolationKind::AsymmetricNeighborLink(a, b)
+                    if (a == r && b == nr) || (a == nr && b == r)
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_tessellation_gap_and_overlap() {
+        let (mut t, _, r, nr) = two_regions();
+        // Shrink one half: a gap opens (and the grid/mirror go stale too,
+        // since geometry was edited behind the mutators' backs).
+        let shrunk = {
+            let full = t.region(r).unwrap().region();
+            Region::new(full.x(), full.y(), full.width() / 2.0, full.height())
+        };
+        t.slots[r.index()].as_mut().unwrap().region = shrunk;
+        let v = t.audit();
+        assert!(
+            v.iter().any(|x| x.kind == ViolationKind::TessellationGap),
+            "{v:?}"
+        );
+        // Now grow it over the whole space instead: an overlap with the
+        // other half.
+        t.slots[r.index()].as_mut().unwrap().region = space().bounds();
+        let v = t.audit();
+        assert!(
+            v.iter().any(|x| matches!(
+                x.kind,
+                ViolationKind::TessellationOverlap(a, b)
+                    if (a == r && b == nr) || (a == nr && b == r)
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_dual_peer_mismatch_for_registered_owner() {
+        let (mut t, n, _r, nr) = two_regions();
+        // The registered primary of `r` claims a different region: always a
+        // bug, never the orphan transient.
+        t.assignments.insert(n, (nr, Role::Secondary));
+        let v = t.audit();
+        assert!(!v.is_empty());
+        assert!(
+            v.iter()
+                .all(|x| matches!(x.kind, ViolationKind::DualPeerMismatch(node, _) if node == n)),
+            "{v:?}"
+        );
+        assert!(
+            !v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::OrphanedOwner(..))),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_reports_all_violations_not_just_the_first() {
+        let (mut t, _, r, nr) = two_regions();
+        // Two independent corruptions in different subsystems must both
+        // surface from one audit call.
+        t.slot_geo[nr.index()].rect = Region::new(0.0, 0.0, 1.0, 1.0);
+        let e = t.slots[r.index()].as_mut().unwrap();
+        e.neighbors.push(r); // self-link: non-touching neighbor entry
+        let v = t.audit();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::SlotMirrorDrift(rr) if rr == nr)),
+            "{v:?}"
+        );
+        assert!(
+            v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::AsymmetricNeighborLink(a, _) if a == r)),
+            "{v:?}"
+        );
+        // And validate() renders every one of them, not just the first.
+        let msg = t.validate().unwrap_err();
+        assert!(msg.contains("slot-mirror-drift") && msg.contains("asymmetric-neighbor-link"));
+    }
+
+    #[test]
+    fn auditor_detects_epoch_regression() {
+        use crate::audit::TopologyAuditor;
+        let (mut t, _, _, _) = two_regions();
+        let mut auditor = TopologyAuditor::new();
+        assert!(auditor.observe(&t).is_empty());
+        // A clone is a different instance: same epoch, no regression.
+        let c = t.clone();
+        assert!(auditor.observe(&c).is_empty());
+        // Re-observe the original so the auditor's history points at it.
+        assert!(auditor.observe(&t).is_empty());
+        // Rewinding the same instance's epoch is a violation. (Only a test
+        // can do this — GG005 keeps runtime writes inside bump_epoch.)
+        t.epoch = 0;
+        let v = auditor.observe(&t);
+        assert!(
+            auditor.observe(&t).is_empty(),
+            "regression is edge-triggered"
+        );
+        assert!(
+            v.iter().any(|x| matches!(
+                x.kind,
+                ViolationKind::EpochRegression {
+                    last_seen: 2,
+                    observed: 0
+                }
+            )),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -284,7 +284,9 @@ impl Region {
     /// be the greedy choice for any target inside a destination cell.
     pub fn distance_to_region(&self, other: &Region) -> f64 {
         let dx = (other.x - self.east()).max(self.x - other.east()).max(0.0);
-        let dy = (other.y - self.north()).max(self.y - other.north()).max(0.0);
+        let dy = (other.y - self.north())
+            .max(self.y - other.north())
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 }
@@ -424,7 +426,11 @@ mod tests {
         assert!((a.distance_to_region(&far) - 5.0).abs() < 1e-12);
         assert!((far.distance_to_region(&a) - 5.0).abs() < 1e-12);
         // Never exceeds the point distance for any point of `other`.
-        for p in [Point::new(4.0, 5.0), Point::new(4.5, 5.5), Point::new(5.0, 6.0)] {
+        for p in [
+            Point::new(4.0, 5.0),
+            Point::new(4.5, 5.5),
+            Point::new(5.0, 6.0),
+        ] {
             assert!(a.distance_to_region(&far) <= a.distance_to_point(p) + 1e-12);
         }
     }

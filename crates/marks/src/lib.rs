@@ -1,0 +1,29 @@
+//! Marker attributes for the GeoGrid audit tooling.
+//!
+//! The attributes in this crate expand to their input unchanged — they
+//! exist so that performance- and correctness-critical functions carry a
+//! machine-readable marker in the source itself. The `geogrid-audit`
+//! binary (`cargo lint-all`) scans the workspace for these markers and
+//! enforces the rules attached to them; see `crates/audit` and DESIGN.md
+//! §7 for the rule catalog.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// Marks a function as part of the routing hot path.
+///
+/// Functions carrying this attribute must not allocate: the audit rule
+/// **GG002** rejects `Vec::new`, `vec!`, `.clone()`, `.to_vec()`,
+/// `.collect()`, `Box::new`, `format!`, `.to_string()`, `.to_owned()`,
+/// `String::new`/`from`, and `HashMap`/`HashSet`/`BTreeMap::new` inside
+/// the marked function's own body. Cold-path helpers a hot function calls
+/// (cache promotion, scratch growth) are deliberately *not* checked
+/// transitively — keep allocations behind a named helper and leave that
+/// helper unmarked.
+///
+/// The attribute itself is a no-op at compile time.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}
