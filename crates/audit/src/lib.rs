@@ -730,11 +730,24 @@ fn handle_fn(
 // Rules
 // ---------------------------------------------------------------------------
 
-/// The private `Topology` helpers that together form one geometry rewrite.
+/// The private `Topology` helpers that together form one geometry rewrite
+/// (epoch bump, grid index + slot mirror, express-finger maintenance).
 /// Calling any of them outside a `// audit: geometry-rewrite`-marked
-/// function is a GG001 violation.
-pub const PROTECTED_CALLEES: &[&str] =
-    &["bump_epoch", "rewrite_geometry", "alloc_slot", "free_slot"];
+/// function is a GG001 violation. Helpers in this list are exempt as
+/// *callers* — the finger routines compose each other freely inside the
+/// protected layer.
+pub const PROTECTED_CALLEES: &[&str] = &[
+    "bump_epoch",
+    "rewrite_geometry",
+    "alloc_slot",
+    "free_slot",
+    "rebuild_fingers_of",
+    "fingers_after_split",
+    "fingers_after_merge",
+    "clear_fingers_of",
+    "retarget_in_links",
+    "recompute_one_finger",
+];
 
 /// Default required-callee groups for a geometry-rewrite site: each inner
 /// group must have at least one call in the marked function's body.

@@ -1,5 +1,6 @@
 //! Machine-readable routing baseline: cold vs. warm-cache ns/route on a
-//! hot-spot workload, written to `BENCH_routing.json`.
+//! hot-spot workload, for both the greedy mesh walk and the two-phase
+//! express engine, written to `BENCH_routing.json`.
 //!
 //! Regenerate with exactly one command (from the repo root):
 //!
@@ -7,13 +8,20 @@
 //! cargo run --release -p geogrid-bench --bin routing_bench
 //! ```
 //!
+//! Network sizes come from `GEOGRID_BENCH_SIZES` (comma-separated) or
+//! numeric CLI arguments, defaulting to the full sweep up to 1,048,576
+//! regions; `GEOGRID_BENCH_ROUTES` overrides the per-size query count
+//! (default 20,000). A non-numeric argument names the output file.
+//!
 //! *Cold* routes through `routing::route_uncached` (per-query `HashSet`
 //! and `Vec`s, nothing shared between queries); *warm* routes the same
-//! query stream through `routing::route_into` with one persistent
-//! `RouteScratch`, so next hops toward the hot cell come from the
-//! epoch-validated cache. Both walk identical paths (the engine is
-//! verified hop-for-hop against the reference), so the ratio isolates
-//! the engine overhead.
+//! query stream through one persistent `RouteScratch` — once via the
+//! paper-faithful greedy `routing::route_into` (hop-for-hop identical to
+//! cold, so the ratio isolates engine overhead) and once via
+//! `routing::route_express_into`, whose express-finger descent shortens
+//! long paths to O(log N) hops before handing off to the same greedy
+//! walk. Each variant's hops-vs-N scaling exponent is fitted by
+//! least squares on the log-log sweep.
 
 use std::time::Instant;
 
@@ -24,11 +32,11 @@ use geogrid_core::routing::{self, RouteScratch};
 use geogrid_core::RegionId;
 use geogrid_geometry::Point;
 
-/// Network sizes swept (basic mode: regions == nodes).
-const SIZES: [usize; 3] = [1_024, 4_096, 16_384];
+/// Default network sizes swept (basic mode: regions == nodes).
+const DEFAULT_SIZES: [usize; 5] = [1_024, 4_096, 16_384, 65_536, 1_048_576];
 
-/// Routed queries measured per size.
-const ROUTES: usize = 20_000;
+/// Default routed queries measured per size.
+const DEFAULT_ROUTES: usize = 20_000;
 
 /// Fixed hot points in the hot-spot square.
 const HOT_POINTS: u64 = 64;
@@ -53,93 +61,216 @@ fn hotspot_target(i: u64) -> Point {
 
 struct Row {
     regions: usize,
+    variant: &'static str,
+    express: bool,
     cold_ns_per_route: f64,
     warm_ns_per_route: f64,
     hops_mean: f64,
     cache_hit_rate: f64,
+    express_prefix_mean: f64,
 }
 
-fn measure(config: &ExperimentConfig, n: usize) -> Row {
-    eprintln!("routing_bench: building {n}-region network...");
-    let topo = build_network(config, Mode::Basic, n, 0);
-    let sources: Vec<RegionId> = topo.region_ids().collect();
+/// One warm pass of `routes` queries through the given engine: a full
+/// cache-warming sweep, then the timed sweep. Returns
+/// (ns/route, total hops, total express-prefix hops, hit rate).
+fn warm_pass(
+    topo: &geogrid_core::Topology,
+    sources: &[RegionId],
+    routes: usize,
+    express: bool,
+) -> (f64, usize, usize, f64) {
     let pair = |i: u64| {
         (
             sources[(i as usize).wrapping_mul(7) % sources.len()],
             hotspot_target(i),
         )
     };
+    let mut scratch = RouteScratch::new();
+    let run = |scratch: &mut RouteScratch, from, target| {
+        if express {
+            routing::route_express_into(topo, from, target, scratch).expect("routable")
+        } else {
+            routing::route_into(topo, from, target, scratch).expect("routable")
+        }
+    };
+    for i in 1..=routes as u64 {
+        let (from, target) = pair(i);
+        run(&mut scratch, from, target);
+    }
+    scratch.reset_stats();
+    let start = Instant::now();
+    let (mut hops, mut prefix) = (0usize, 0usize);
+    for i in 1..=routes as u64 {
+        let (from, target) = pair(i);
+        run(&mut scratch, from, target);
+        hops += scratch.hop_count();
+        prefix += scratch.express_prefix();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / routes as f64;
+    (ns, hops, prefix, scratch.hit_rate())
+}
+
+/// Measures one network size: a shared cold reference pass, then a warm
+/// greedy row and a warm express row.
+fn measure(config: &ExperimentConfig, n: usize, routes: usize) -> [Row; 2] {
+    eprintln!("routing_bench: building {n}-region network...");
+    let built = Instant::now();
+    let topo = build_network(config, Mode::Basic, n, 0);
+    eprintln!(
+        "routing_bench: built {n} regions in {:.1}s",
+        built.elapsed().as_secs_f64()
+    );
+    let sources: Vec<RegionId> = topo.region_ids().collect();
 
     // Cold: the allocating reference, nothing carried between queries.
     let start = Instant::now();
     let mut cold_hops = 0usize;
-    for i in 1..=ROUTES as u64 {
-        let (from, target) = pair(i);
-        cold_hops += routing::route_uncached(&topo, from, target)
+    for i in 1..=routes as u64 {
+        let from = sources[(i as usize).wrapping_mul(7) % sources.len()];
+        cold_hops += routing::route_uncached(&topo, from, hotspot_target(i))
             .expect("routable")
             .hop_count();
     }
-    let cold_ns = start.elapsed().as_nanos() as f64 / ROUTES as f64;
+    let cold_ns = start.elapsed().as_nanos() as f64 / routes as f64;
 
-    // Warm: one scratch for the stream, cache pre-warmed by a full pass.
-    let mut scratch = RouteScratch::new();
-    for i in 1..=ROUTES as u64 {
-        let (from, target) = pair(i);
-        routing::route_into(&topo, from, target, &mut scratch).expect("routable");
-    }
-    scratch.reset_stats();
-    let start = Instant::now();
-    let mut warm_hops = 0usize;
-    for i in 1..=ROUTES as u64 {
-        let (from, target) = pair(i);
-        routing::route_into(&topo, from, target, &mut scratch).expect("routable");
-        warm_hops += scratch.hop_count();
-    }
-    let warm_ns = start.elapsed().as_nanos() as f64 / ROUTES as f64;
-    assert_eq!(cold_hops, warm_hops, "engines must walk identical paths");
+    let (greedy_ns, greedy_hops, _, greedy_hits) = warm_pass(&topo, &sources, routes, false);
+    assert_eq!(cold_hops, greedy_hops, "engines must walk identical paths");
+    let (express_ns, express_hops, express_prefix, express_hits) =
+        warm_pass(&topo, &sources, routes, true);
+    assert!(
+        express_hops <= cold_hops,
+        "express walked {express_hops} total hops vs greedy {cold_hops}"
+    );
 
-    Row {
-        regions: n,
-        cold_ns_per_route: cold_ns,
-        warm_ns_per_route: warm_ns,
-        hops_mean: warm_hops as f64 / ROUTES as f64,
-        cache_hit_rate: scratch.hit_rate(),
+    [
+        Row {
+            regions: n,
+            variant: "greedy",
+            express: false,
+            cold_ns_per_route: cold_ns,
+            warm_ns_per_route: greedy_ns,
+            hops_mean: greedy_hops as f64 / routes as f64,
+            cache_hit_rate: greedy_hits,
+            express_prefix_mean: 0.0,
+        },
+        Row {
+            regions: n,
+            variant: "express",
+            express: true,
+            cold_ns_per_route: cold_ns,
+            warm_ns_per_route: express_ns,
+            hops_mean: express_hops as f64 / routes as f64,
+            cache_hit_rate: express_hits,
+            express_prefix_mean: express_prefix as f64 / routes as f64,
+        },
+    ]
+}
+
+/// Least-squares slope of ln(hops_mean) against ln(regions): the fitted
+/// exponent b of hops ≈ a·N^b. Needs ≥ 2 sizes; NaN otherwise.
+fn scaling_exponent(rows: &[&Row]) -> f64 {
+    let pts: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| ((r.regions as f64).ln(), r.hops_mean.ln()))
+        .collect();
+    let k = pts.len() as f64;
+    let (sx, sy): (f64, f64) = pts.iter().fold((0.0, 0.0), |(a, b), p| (a + p.0, b + p.1));
+    let (sxx, sxy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(a, b), p| (a + p.0 * p.0, b + p.0 * p.1));
+    (k * sxy - sx * sy) / (k * sxx - sx * sx)
+}
+
+/// Sizes from `GEOGRID_BENCH_SIZES` / numeric CLI args; output path from
+/// the first non-numeric argument.
+fn parse_config() -> (Vec<usize>, usize, String) {
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut out = "BENCH_routing.json".to_string();
+    if let Ok(env_sizes) = std::env::var("GEOGRID_BENCH_SIZES") {
+        sizes.extend(
+            env_sizes
+                .split(',')
+                .filter_map(|s| s.trim().replace('_', "").parse::<usize>().ok()),
+        );
     }
+    for arg in std::env::args().skip(1) {
+        match arg.replace('_', "").parse::<usize>() {
+            Ok(n) => sizes.push(n),
+            Err(_) => out = arg,
+        }
+    }
+    if sizes.is_empty() {
+        sizes.extend(DEFAULT_SIZES);
+    }
+    let routes = std::env::var("GEOGRID_BENCH_ROUTES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(DEFAULT_ROUTES);
+    (sizes, routes, out)
 }
 
 fn main() {
+    let (sizes, routes, path) = parse_config();
     let config = ExperimentConfig::default();
-    let rows: Vec<Row> = SIZES.iter().map(|&n| measure(&config, n)).collect();
+    let rows: Vec<Row> = sizes
+        .iter()
+        .flat_map(|&n| measure(&config, n, routes))
+        .collect();
 
     println!(
-        "{:>8} {:>14} {:>14} {:>9} {:>10} {:>9}",
-        "regions", "cold_ns/route", "warm_ns/route", "speedup", "hops_mean", "hit_rate"
+        "{:>8} {:>8} {:>14} {:>14} {:>9} {:>10} {:>11} {:>9}",
+        "regions",
+        "variant",
+        "cold_ns/route",
+        "warm_ns/route",
+        "speedup",
+        "hops_mean",
+        "expr_prefix",
+        "hit_rate"
     );
     let mut entries = Vec::new();
     for r in &rows {
         let speedup = r.cold_ns_per_route / r.warm_ns_per_route;
         println!(
-            "{:>8} {:>14.0} {:>14.0} {:>8.1}x {:>10.2} {:>9.3}",
+            "{:>8} {:>8} {:>14.0} {:>14.0} {:>8.1}x {:>10.2} {:>11.2} {:>9.3}",
             r.regions,
+            r.variant,
             r.cold_ns_per_route,
             r.warm_ns_per_route,
             speedup,
             r.hops_mean,
+            r.express_prefix_mean,
             r.cache_hit_rate
         );
         entries.push(format!(
-            "    {{\n      \"regions\": {},\n      \"cold_ns_per_route\": {:.1},\n      \"warm_ns_per_route\": {:.1},\n      \"speedup\": {:.2},\n      \"hops_mean\": {:.3},\n      \"cache_hit_rate\": {:.4}\n    }}",
-            r.regions, r.cold_ns_per_route, r.warm_ns_per_route, speedup, r.hops_mean, r.cache_hit_rate
+            "    {{\n      \"regions\": {},\n      \"variant\": \"{}\",\n      \"express\": {},\n      \"cold_ns_per_route\": {:.1},\n      \"warm_ns_per_route\": {:.1},\n      \"speedup\": {:.2},\n      \"hops_mean\": {:.3},\n      \"express_prefix_mean\": {:.3},\n      \"cache_hit_rate\": {:.4}\n    }}",
+            r.regions,
+            r.variant,
+            r.express,
+            r.cold_ns_per_route,
+            r.warm_ns_per_route,
+            speedup,
+            r.hops_mean,
+            r.express_prefix_mean,
+            r.cache_hit_rate
         ));
     }
 
+    let fit = |variant: &str| {
+        let picked: Vec<&Row> = rows.iter().filter(|r| r.variant == variant).collect();
+        if picked.len() < 2 {
+            "null".to_string()
+        } else {
+            format!("{:.4}", scaling_exponent(&picked))
+        }
+    };
+    let (greedy_fit, express_fit) = (fit("greedy"), fit("express"));
+    println!("scaling exponent (hops ~ N^b): greedy b={greedy_fit}, express b={express_fit}");
+
     let json = format!(
-        "{{\n  \"bench\": \"routing\",\n  \"command\": \"cargo run --release -p geogrid-bench --bin routing_bench\",\n  \"workload\": \"hot-spot stream: 80% of queries target one of 64 fixed hot points in a 2-mile square, 20% uniform, {ROUTES} routes per size, basic-mode networks\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"routing\",\n  \"command\": \"cargo run --release -p geogrid-bench --bin routing_bench\",\n  \"workload\": \"hot-spot stream: 80% of queries target one of 64 fixed hot points in a 2-mile square, 20% uniform, {routes} routes per size, basic-mode networks; variants: greedy mesh walk vs two-phase express-finger routing\",\n  \"scaling_exponent\": {{\n    \"greedy\": {greedy_fit},\n    \"express\": {express_fit}\n  }},\n  \"results\": [\n{}\n  ]\n}}\n",
         entries.join(",\n")
     );
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_routing.json".to_string());
     std::fs::write(&path, json).expect("write BENCH_routing.json");
     println!("-> wrote {path}");
 }

@@ -65,6 +65,20 @@ pub enum ViolationKind {
     /// primary and secondary are the same node, or an assignment points at
     /// a dead or disagreeing slot. Always a bug.
     DualPeerMismatch(NodeId, RegionId),
+    /// An express-link finger of a live region points at a dead slot
+    /// (finger maintenance missed a merge's `free_slot`). The `u8` is the
+    /// finger index (`scale * FINGER_DIRS + dir`).
+    DanglingFinger(RegionId, u8),
+    /// A stored finger disagrees with a fresh recomputation of the finger
+    /// selection rule against the current geometry — it points at a live
+    /// region, but not the one covering the scale point (a geometry
+    /// rewrite moved rectangles without retargeting the finger). The `u8`
+    /// is the finger index.
+    MisScaledFinger(RegionId, u8),
+    /// The forward finger mirror and the reverse in-link index disagree: a
+    /// live finger lacks exactly one reverse entry, or a reverse entry
+    /// names a source that is dead or no longer points there.
+    AsymmetricFingerLink(RegionId, RegionId),
     /// A region's owner is not in the node table at all. This is the one
     /// *legal transient*: [`Topology::remove_node`] leaves a sole-owned
     /// region orphaned for the caller to repair (see
@@ -84,6 +98,9 @@ impl ViolationKind {
             ViolationKind::GridCounterDrift { .. } => "grid-counter-drift",
             ViolationKind::SlotMirrorDrift(..) => "slot-mirror-drift",
             ViolationKind::EpochRegression { .. } => "epoch-regression",
+            ViolationKind::DanglingFinger(..) => "dangling-finger",
+            ViolationKind::MisScaledFinger(..) => "mis-scaled-finger",
+            ViolationKind::AsymmetricFingerLink(..) => "asymmetric-finger-link",
             ViolationKind::DualPeerMismatch(..) => "dual-peer-mismatch",
             ViolationKind::OrphanedOwner(..) => "orphaned-owner",
         }

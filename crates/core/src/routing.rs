@@ -61,6 +61,32 @@
 //! thread-local scratch, so every existing caller gets the engine for
 //! free; batch callers hold their own [`RouteScratch`] and use
 //! [`route_into`] / [`route_randomized_into`].
+//!
+//! # Express links
+//!
+//! Greedy forwarding costs `O(√N)` hops no matter how cheap each hop is,
+//! so beyond ~16k regions route *length* dominates. [`route_express_into`]
+//! layers the topology's express fingers (see
+//! [`Topology::slot_fingers`]: per region, one link per doubling of
+//! distance per compass direction, Kleinberg/Chord-style) on top of the
+//! same engine as a two-phase route:
+//!
+//! 1. **Express descent** — while the remaining distance exceeds both the
+//!    finger floor ([`Topology::finger_base`]) and [`EXPRESS_ENGAGE`]
+//!    current-region diameters, follow the best finger that cuts the
+//!    remaining rectangle distance to at most [`EXPRESS_DECAY`]× — but
+//!    only when that finger strictly beats every immediate neighbor's
+//!    greedy key, so the express phase never takes a hop plain greedy
+//!    would have bettered. Each hop shrinks the distance geometrically,
+//!    giving `O(log N)` express hops; no visited marks are needed (or
+//!    written) because the decay makes loops impossible.
+//! 2. **Last mile** — hand off to the unmodified greedy walk, which is
+//!    hop-for-hop identical to [`route_uncached`] from the handoff region
+//!    ([`RouteScratch::express_prefix`] marks the boundary in the trace).
+//!
+//! The express decision is visited-independent, so promoted L1
+//! destinations memoize it per source slot (`target_express` slabs) under
+//! the same `(instance_id, epoch)` validation as the greedy tiers.
 
 use std::cell::RefCell;
 use std::collections::HashSet;
@@ -68,7 +94,7 @@ use std::collections::HashSet;
 use geogrid_geometry::{Point, Region};
 use geogrid_marks::hot_path;
 
-use crate::topology::RegionEntry;
+use crate::topology::{RegionEntry, FINGER_COUNT, FINGER_NONE};
 use crate::{CoreError, RegionId, Topology};
 
 /// The result of routing a request to its executor region.
@@ -99,6 +125,28 @@ const ROUTE_CACHE_MAX_TARGETS: usize = 64;
 
 /// Open-addressed slots in the target-recurrence table (power of two).
 const TARGET_TABLE_SLOTS: usize = 512;
+
+/// Express qualification: a finger may be followed only if it cuts the
+/// remaining rectangle distance to at most this fraction. Guarantees
+/// geometric decay (so the express phase is loop-free and `O(log N)`
+/// hops) and keeps marginal fingers from displacing a greedy hop that
+/// would have made the same progress. Must exceed `sin 45° ≈ 0.707`: the
+/// fingers are axial, so a perfectly diagonal target can only shed that
+/// fraction per jump along the better axis.
+pub const EXPRESS_DECAY: f64 = 0.75;
+
+/// Express engagement gate: the remaining distance must exceed this many
+/// current-region diameters before a finger is considered. Within a few
+/// diameters the target is a couple of greedy hops away and *any* express
+/// detour risks costing more hops than plain greedy saves — that near
+/// field is exactly the regime the paper's mesh walk is optimal in.
+pub const EXPRESS_ENGAGE: f64 = 4.0;
+
+/// Safety cap on express hops per query. The decay bound alone caps the
+/// phase at `log(space/floor) / log(1/EXPRESS_DECAY)` ≈ 35 hops; this is
+/// a backstop against float-edge stagnation, after which the route simply
+/// hands off to greedy early.
+const EXPRESS_MAX_HOPS: usize = 64;
 
 /// Linear probes before the table gives up on a destination.
 const TARGET_TABLE_PROBES: usize = 8;
@@ -171,6 +219,11 @@ struct RouteCache {
     /// and epoch-stable, so the hot loop compares slot numbers instead of
     /// re-testing rectangle containment every hop.
     target_terminals: Vec<u16>,
+    /// Per promoted exact destination: source slot → the express finger
+    /// the two-phase route follows from there (`SLOT_SCAN` = hand off to
+    /// greedy at that slot). The express decision ignores visited marks,
+    /// so a cached entry is always followed as-is — no fallback arm.
+    target_express: Vec<Vec<u16>>,
     /// Derived entries across all slabs (for stats).
     entries: usize,
 }
@@ -181,6 +234,7 @@ impl RouteCache {
         self.cell_slab.fill(ENTRY_EMPTY);
         self.target_slabs.clear();
         self.target_terminals.clear();
+        self.target_express.clear();
         self.target_table.fill(EMPTY_TARGET_SLOT);
         self.entries = 0;
     }
@@ -214,6 +268,7 @@ impl RouteCache {
                         self.target_table[idx].state = slab as u32;
                         self.target_slabs.push(vec![SLOT_EMPTY; slots]);
                         self.target_terminals.push(SLOT_EMPTY);
+                        self.target_express.push(vec![SLOT_EMPTY; slots]);
                         Some(slab)
                     }
                     slab => Some(slab as usize),
@@ -253,8 +308,11 @@ pub struct RouteScratch {
     stamps: Vec<u8>,
     generation: u8,
     /// Hop trace of the most recent successful `route_into` /
-    /// `route_randomized_into` call.
+    /// `route_randomized_into` / `route_express_into` call.
     hops: Vec<RegionId>,
+    /// Length of the express prefix of the most recent trace (0 for plain
+    /// greedy routes); see [`Self::express_prefix`].
+    express_len: usize,
     /// Recycled candidate buffer for randomized routing.
     cand: Vec<RegionId>,
     /// The promoted-cell next-hop slabs.
@@ -278,6 +336,7 @@ impl RouteScratch {
             stamps: Vec::new(),
             generation: 0,
             hops: Vec::new(),
+            express_len: 0,
             cand: Vec::new(),
             cache: RouteCache::default(),
             cache_key: (u64::MAX, u64::MAX),
@@ -296,6 +355,16 @@ impl RouteScratch {
     /// Hop count of the most recent successful routed query.
     pub fn hop_count(&self) -> usize {
         self.hops.len().saturating_sub(1)
+    }
+
+    /// Index into [`Self::hops`] of the express→greedy handoff region of
+    /// the most recent [`route_express_into`] call: `hops()[prefix..]` is
+    /// the last-mile greedy segment (hop-for-hop what [`route_uncached`]
+    /// walks from the handoff region), `hops()[..prefix]` the express
+    /// descent. 0 when no express hop was taken or after a plain greedy
+    /// route.
+    pub fn express_prefix(&self) -> usize {
+        self.express_len
     }
 
     /// Derived next-hop entries across all promoted destination cells.
@@ -345,13 +414,23 @@ impl RouteScratch {
         if self.stamps.len() < slots {
             self.stamps.resize(slots, 0);
         }
+        self.next_generation();
+        self.hops.clear();
+        self.express_len = 0;
+    }
+
+    /// Starts a fresh visited generation. The stamps are one byte each, so
+    /// after 255 queries the counter wraps and *every* stale stamp in the
+    /// array would alias the new generation as "visited"; the wrap
+    /// therefore clears the whole array and restarts the counter at 1
+    /// (stamp 0 = never visited). Skipping the clear corrupts every 256th
+    /// query — `route_scratch_wrap.rs` pins this down.
+    fn next_generation(&mut self) {
         self.generation = self.generation.wrapping_add(1);
         if self.generation == 0 {
-            // u8 wrap: old stamps could alias the new generation.
             self.stamps.fill(0);
             self.generation = 1;
         }
-        self.hops.clear();
     }
 
     #[inline]
@@ -657,9 +736,30 @@ pub fn route_into(
                     .map(|slab| (rect, slab))
             })
     };
-    let mut current = from;
     scratch.hops.push(from);
     scratch.visit(from.index());
+    greedy_loop(topo, from, target, scratch, l1, l2, budget, 0)
+}
+
+/// The greedy mesh walk shared by [`route_into`] (whole route, `base` 0)
+/// and [`route_express_into`] (last mile, `base` = express prefix length):
+/// termination test, hop budget relative to `base`, and the three-arm
+/// cache match per hop. The caller has already pushed and visited
+/// `current`; the express prefix before `base` carries no visited marks,
+/// so from the handoff on this walk sees exactly the state
+/// [`route_uncached`] would build starting there.
+#[hot_path]
+#[allow(clippy::too_many_arguments)]
+fn greedy_loop(
+    topo: &Topology,
+    mut current: RegionId,
+    target: Point,
+    scratch: &mut RouteScratch,
+    l1: Option<usize>,
+    l2: Option<(Region, usize)>,
+    budget: usize,
+    base: usize,
+) -> Result<RegionId, CoreError> {
     loop {
         let slot = current.index();
         // Termination. The region covering `target` is unique and stable
@@ -688,7 +788,7 @@ pub fn route_into(
         if covered {
             return Ok(current);
         }
-        if scratch.hops.len() > budget {
+        if scratch.hops.len() - base > budget {
             // Degenerate topology (should not happen on a valid partition):
             // answer via the spatial index so callers still make progress.
             let executor = topo.locate(target)?;
@@ -770,6 +870,191 @@ pub fn route_into(
             }
         }
     }
+}
+
+/// The express decision at `current` toward `target`: the finger to
+/// follow, or `None` to hand off to the greedy walk. A finger qualifies
+/// when it cuts the remaining rectangle distance to at most
+/// [`EXPRESS_DECAY`]× (geometric decay — the express phase cannot loop),
+/// and the best qualified finger is followed only when its greedy key
+/// `(closest-point distance, center distance, id)` strictly beats every
+/// immediate neighbor's — otherwise plain greedy makes at least the same
+/// progress and the express hop would only lengthen the route. Below the
+/// finger floor, or within [`EXPRESS_ENGAGE`] diameters of the current
+/// region, the express phase is over.
+///
+/// Deterministic in the geometry alone (no visited state), which is what
+/// makes the per-destination `target_express` cache sound.
+#[hot_path]
+fn express_choice(
+    topo: &Topology,
+    current: RegionId,
+    target: Point,
+    floor: f64,
+) -> Option<RegionId> {
+    let slot = current.index();
+    let rect = topo.slot_rect(slot);
+    let d = rect.distance_to_point(target);
+    // Hand off inside the near field: below the global finger floor, or
+    // within a few diameters of the current region (where greedy needs
+    // only a couple of hops and an express detour can only lose).
+    if d <= floor.max(EXPRESS_ENGAGE * rect.width().max(rect.height())) {
+        return None;
+    }
+    let cutoff = EXPRESS_DECAY * d;
+    let mut best: Option<(f64, f64, RegionId)> = None;
+    for &raw in &topo.slot_fingers(slot).ids()[..FINGER_COUNT] {
+        if raw == FINGER_NONE {
+            continue;
+        }
+        let fslot = raw as usize;
+        let rect_d = topo.slot_rect(fslot).distance_to_point(target);
+        if rect_d > cutoff {
+            continue;
+        }
+        let key = (
+            rect_d,
+            topo.slot_center(fslot).distance(target),
+            RegionId::new(raw),
+        );
+        if best.is_none_or(|b| key < b) {
+            best = Some(key);
+        }
+    }
+    let best = best?;
+    let entry = topo
+        .region(current)
+        .expect("invariant: express routing only stands on live regions");
+    let mut best_neighbor: Option<(f64, f64, RegionId)> = None;
+    for &n in entry.neighbors() {
+        let key = (
+            topo.slot_rect(n.index()).distance_to_point(target),
+            topo.slot_center(n.index()).distance(target),
+            n,
+        );
+        if best_neighbor.is_none_or(|b| key < b) {
+            best_neighbor = Some(key);
+        }
+    }
+    match best_neighbor {
+        Some(nb) if best >= nb => None,
+        _ => Some(best.2),
+    }
+}
+
+/// Two-phase express route (see the [module docs](self)): descend the
+/// express fingers while the remaining distance exceeds the finger floor,
+/// then hand off to the paper-faithful greedy walk for the last mile. The
+/// hop trace lands in [`RouteScratch::hops`] with the handoff index in
+/// [`RouteScratch::express_prefix`]; the last-mile segment is hop-for-hop
+/// what [`route_uncached`] walks from the handoff region.
+///
+/// On networks too coarse for any finger to qualify the express phase
+/// takes zero hops and this is exactly [`route_into`].
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+#[hot_path]
+pub fn route_express_into(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    if !topo.space().covers(target) {
+        return Err(CoreError::OutOfSpace {
+            x: target.x,
+            y: target.y,
+        });
+    }
+    if topo.region(from).is_none() {
+        return Err(CoreError::UnknownRegion(from));
+    }
+    scratch.begin(topo);
+    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let slots = topo.slot_count();
+    let cacheable = slots < ROUTE_CACHE_MAX_SLOTS;
+    let l1 = if cacheable {
+        scratch
+            .cache
+            .promote_target(target.x.to_bits(), target.y.to_bits(), slots)
+    } else {
+        None
+    };
+    let l2: Option<(Region, usize)> = if !cacheable || l1.is_some() {
+        None
+    } else {
+        let dest_cell = topo.grid_cell_of(target) as usize;
+        topo.grid_cell_rect(dest_cell as u32)
+            .filter(|r| r.contains_closed(target))
+            .and_then(|rect| {
+                scratch
+                    .promote_cell(dest_cell, slots)
+                    .map(|slab| (rect, slab))
+            })
+    };
+    let floor = topo.finger_base();
+    let mut current = from;
+    scratch.hops.push(from);
+    // Phase 1: express descent. Hops are recorded but NOT marked visited —
+    // the greedy tail must start from exactly the visited state
+    // route_uncached would have at the handoff (just the handoff itself),
+    // and the decay guarantee already rules out express loops.
+    let mut express_hops = 0usize;
+    while express_hops < EXPRESS_MAX_HOPS {
+        let next = if let Some(slab) = l1 {
+            scratch.lookups += 1;
+            match scratch.cache.target_express[slab][current.index()] {
+                SLOT_EMPTY => {
+                    let choice = express_choice(topo, current, target, floor);
+                    scratch.cache.target_express[slab][current.index()] =
+                        choice.map_or(SLOT_SCAN, |r| r.as_u32() as u16);
+                    scratch.cache.entries += 1;
+                    choice
+                }
+                SLOT_SCAN => None,
+                raw => {
+                    scratch.hits += 1;
+                    Some(RegionId::new(raw as u32))
+                }
+            }
+        } else {
+            express_choice(topo, current, target, floor)
+        };
+        match next {
+            Some(next) => {
+                scratch.hops.push(next);
+                current = next;
+                express_hops += 1;
+            }
+            None => break,
+        }
+    }
+    scratch.express_len = express_hops;
+    // Phase 2: the unmodified greedy engine finishes the last mile.
+    scratch.visit(current.index());
+    greedy_loop(topo, current, target, scratch, l1, l2, budget, express_hops)
+}
+
+/// Thin wrapper over [`route_express_into`] with the thread-local scratch
+/// — the two-phase counterpart of [`route`].
+///
+/// # Errors
+///
+/// Same conditions as [`route`].
+pub fn route_express(
+    topo: &Topology,
+    from: RegionId,
+    target: Point,
+) -> Result<RoutePath, CoreError> {
+    with_thread_scratch(|scratch| {
+        let executor = route_express_into(topo, from, target, scratch)?;
+        Ok(RoutePath {
+            executor,
+            hops: scratch.hops.clone(),
+        })
+    })
 }
 
 /// Like [`route_into`], but at each step picks uniformly at random among
@@ -1222,6 +1507,68 @@ mod tests {
         let executor = route_into(&t, from, target, &mut scratch).unwrap();
         assert_eq!(executor, reference.executor);
         assert_eq!(scratch.hops(), &reference.hops[..]);
+    }
+
+    #[test]
+    fn express_route_tail_matches_uncached_reference() {
+        let t = grid_topology(8); // 256 regions
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let mut scratch = RouteScratch::new();
+        // Twice so the second round exercises the warm target_express slabs.
+        for _round in 0..2 {
+            for (i, &from) in ids.iter().enumerate().step_by(5) {
+                let target = t
+                    .region(ids[(i * 13 + 7) % ids.len()])
+                    .unwrap()
+                    .region()
+                    .center();
+                let reference = route_uncached(&t, from, target).unwrap();
+                let executor = route_express_into(&t, from, target, &mut scratch).unwrap();
+                assert_eq!(executor, reference.executor, "{from} -> {target:?}");
+                assert!(
+                    scratch.hop_count() <= reference.hop_count(),
+                    "{from} -> {target:?}: express {} hops vs greedy {}",
+                    scratch.hop_count(),
+                    reference.hop_count()
+                );
+                // The last mile is hop-for-hop the greedy reference from
+                // the handoff region.
+                let handoff = scratch.hops()[scratch.express_prefix()];
+                let tail = route_uncached(&t, handoff, target).unwrap();
+                assert_eq!(&scratch.hops()[scratch.express_prefix()..], &tail.hops[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn express_route_saves_hops_on_long_paths() {
+        let t = grid_topology(10); // 1024 regions
+        let from = t.locate_scan(Point::new(0.5, 0.5)).unwrap();
+        let target = Point::new(63.5, 63.5);
+        let reference = route_uncached(&t, from, target).unwrap();
+        let mut scratch = RouteScratch::new();
+        let executor = route_express_into(&t, from, target, &mut scratch).unwrap();
+        assert_eq!(executor, reference.executor);
+        assert!(
+            scratch.express_prefix() > 0,
+            "corner-to-corner route at 1024 regions never took an express hop"
+        );
+        assert!(
+            scratch.hop_count() * 2 <= reference.hop_count(),
+            "express {} hops vs greedy {}",
+            scratch.hop_count(),
+            reference.hop_count()
+        );
+    }
+
+    #[test]
+    fn express_route_to_own_region_is_zero_hops() {
+        let t = grid_topology(4);
+        let from = t.first_region().unwrap();
+        let inside = t.region(from).unwrap().region().center();
+        let path = route_express(&t, from, inside).unwrap();
+        assert_eq!(path.hop_count(), 0);
+        assert_eq!(path.executor, from);
     }
 
     #[test]

@@ -205,6 +205,65 @@ impl GridIndex {
     }
 }
 
+/// Distance scales per finger direction: one finger per doubling of
+/// distance, Kleinberg/Chord-style, from [`Topology::finger_base`] (a
+/// 1024th of the space side — half a grid-index cell, fine enough that
+/// the express phase can hand off within a couple of regions of the
+/// target even at 2²⁰ regions) up to the full space side.
+pub const FINGER_SCALES: usize = 11;
+
+/// Compass directions fingers are laid along (east, north, west, south).
+/// Axial-only coverage is enough for geometric progress: the worst-case
+/// off-axis target still shrinks its distance by `sin 45° ≈ 0.71` per
+/// hop, inside the express qualification window (see
+/// [`crate::routing::route_express_into`]).
+pub const FINGER_DIRS: usize = 4;
+
+/// Live finger entries per region ([`FINGER_SCALES`] × [`FINGER_DIRS`]).
+pub const FINGER_COUNT: usize = FINGER_SCALES * FINGER_DIRS;
+
+/// Stored finger entries per region: [`FINGER_COUNT`] padded to the next
+/// multiple of a 64-byte cache line (48 × 4 B = 192 B = 3 lines).
+pub const FINGER_SLOTS: usize = 48;
+
+/// Finger entry: no express link at this (scale, direction) — the target
+/// point folds back into the region's own rectangle.
+pub const FINGER_NONE: u32 = u32::MAX;
+
+const FINGER_DIR_OFFSETS: [(f64, f64); FINGER_DIRS] =
+    [(1.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (0.0, -1.0)];
+
+/// One region's express-link fingers, padded to whole cache lines so the
+/// flat mirror (`Vec<FingerBlock>`) never straddles a line mid-region:
+/// the express hop scan reads all 48 entries of exactly one region.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(64))]
+pub struct FingerBlock {
+    ids: [u32; FINGER_SLOTS],
+}
+
+impl FingerBlock {
+    const EMPTY: FingerBlock = FingerBlock {
+        ids: [FINGER_NONE; FINGER_SLOTS],
+    };
+
+    /// The raw finger entries (`FINGER_NONE`-padded past
+    /// [`FINGER_COUNT`]). Index `scale * FINGER_DIRS + dir`.
+    pub fn ids(&self) -> &[u32; FINGER_SLOTS] {
+        &self.ids
+    }
+}
+
+/// Reverse finger link: `(source slot << 8) | finger index`, packed so the
+/// per-slot in-link lists stay one machine word per entry.
+fn pack_finger_ref(rid: RegionId, k: usize) -> u64 {
+    ((rid.as_u32() as u64) << 8) | k as u64
+}
+
+fn unpack_finger_ref(packed: u64) -> (u32, usize) {
+    ((packed >> 8) as u32, (packed & 0xFF) as usize)
+}
+
 /// Source of unique [`Topology::instance_id`] values. Every constructed or
 /// cloned topology gets a fresh id so route caches keyed by
 /// `(instance_id, epoch)` can never confuse two instances whose epoch
@@ -238,6 +297,17 @@ pub struct Topology {
     /// is recycled; only live ids may be used to index. One cache line per
     /// slot (see [`SlotGeo`]) so a greedy neighbor probe costs one load.
     slot_geo: Vec<SlotGeo>,
+    /// Flat mirror of every live slot's express-link fingers, indexed like
+    /// `slot_geo` (same staleness contract for dead slots). Kept exact at
+    /// the three geometry-rewrite sites; see [`Self::slot_fingers`].
+    slot_fingers: Vec<FingerBlock>,
+    /// Reverse finger index: `finger_in[s]` lists every `(source, k)`
+    /// finger currently pointing at slot `s` (packed, see
+    /// [`pack_finger_ref`]). Exact — every finger write removes its old
+    /// reverse entry before installing the new one — so a geometry rewrite
+    /// retargets only the fingers that actually referenced the changed
+    /// region, not the whole network.
+    finger_in: Vec<Vec<u64>>,
     /// Mutation counter driving the [`Self::debug_audit`] throttle.
     /// Debug builds only; never part of equality or serialization.
     #[cfg(debug_assertions)]
@@ -271,6 +341,8 @@ impl Clone for Topology {
             id: next_topology_id(),
             epoch: self.epoch,
             slot_geo: self.slot_geo.clone(),
+            slot_fingers: self.slot_fingers.clone(),
+            finger_in: self.finger_in.clone(),
             #[cfg(debug_assertions)]
             audit_tick: std::sync::atomic::AtomicU32::new(0),
         }
@@ -291,6 +363,8 @@ impl Default for Topology {
             id: next_topology_id(),
             epoch: 0,
             slot_geo: Vec::new(),
+            slot_fingers: Vec::new(),
+            finger_in: Vec::new(),
             #[cfg(debug_assertions)]
             audit_tick: std::sync::atomic::AtomicU32::new(0),
         }
@@ -339,7 +413,7 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if called when the network already has regions.
-    // audit: geometry-rewrite
+    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn bootstrap(&mut self, node: NodeId) -> Result<RegionId, CoreError> {
         assert!(self.region_count == 0, "bootstrap on a non-empty network");
         self.ensure_unassigned(node)?;
@@ -351,6 +425,7 @@ impl Topology {
             neighbors: Vec::new(),
         });
         self.assignments.insert(node, (rid, Role::Primary));
+        self.rebuild_fingers_of(rid);
         self.debug_audit();
         Ok(rid)
     }
@@ -400,6 +475,32 @@ impl Topology {
     #[hot_path]
     pub fn slot_center(&self, slot: usize) -> Point {
         self.slot_geo[slot].center
+    }
+
+    /// The express-link fingers of the live region in `slot`, from the
+    /// flat finger mirror — same contract as [`Self::slot_rect`]: `slot`
+    /// must index a live region.
+    ///
+    /// Entry `scale * FINGER_DIRS + dir` is the raw id of the region
+    /// covering the point `finger_base() · 2^scale` miles from this
+    /// region's center along compass direction `dir`, or [`FINGER_NONE`]
+    /// when that point folds back into the region itself. The mirror is
+    /// maintained exactly at the three geometry-rewrite sites, so a
+    /// non-`FINGER_NONE` entry always names a live region.
+    #[inline]
+    #[hot_path]
+    pub fn slot_fingers(&self, slot: usize) -> &FingerBlock {
+        &self.slot_fingers[slot]
+    }
+
+    /// The smallest finger distance scale: a 1024th of the space side.
+    /// Express routing hands off to the plain greedy walk once the
+    /// remaining distance drops below this floor.
+    #[inline]
+    #[hot_path]
+    pub fn finger_base(&self) -> f64 {
+        let b = self.space().bounds();
+        b.width().max(b.height()) / 1024.0
     }
 
     /// Row-major index (in `[0, 128²)`) of the spatial-index cell
@@ -567,7 +668,7 @@ impl Topology {
     ///   ids.
     /// * [`CoreError::WrongRole`] if `keep` is not the primary of `rid`, or
     ///   `give` is neither its secondary nor unassigned.
-    // audit: geometry-rewrite
+    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn split_region(
         &mut self,
         rid: RegionId,
@@ -653,6 +754,7 @@ impl Topology {
         }
         self.entry_mut(rid)?.neighbors = kept_list;
         self.entry_mut(new_rid)?.neighbors = new_list;
+        self.fingers_after_split(rid, new_rid);
         self.debug_audit();
         Ok(new_rid)
     }
@@ -667,7 +769,7 @@ impl Topology {
     /// * [`CoreError::NotMergeable`] if the rectangles don't merge.
     /// * [`CoreError::WrongRole`] if `primary`/`secondary` are not among
     ///   the current owners of `a` and `b`.
-    // audit: geometry-rewrite
+    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn merge_regions(
         &mut self,
         a: RegionId,
@@ -742,6 +844,7 @@ impl Topology {
             entry.neighbors.push(a);
         }
         self.entry_mut(a)?.neighbors = neighbor_union;
+        self.fingers_after_merge(a, b);
         self.debug_audit();
         Ok(displaced)
     }
@@ -1100,6 +1203,76 @@ impl Topology {
                 ));
             }
         }
+        // Express-link fingers: every live region's stored finger block
+        // must match a fresh recomputation against the current geometry
+        // (the finger selection rule), point only at live regions, and be
+        // mirrored exactly once in the reverse index.
+        for (rid, _) in &all {
+            let Some(block) = self.slot_fingers.get(rid.index()) else {
+                v.push(Violation::new(
+                    ViolationKind::MisScaledFinger(*rid, 0),
+                    format!("{rid}: finger mirror missing entirely"),
+                ));
+                continue;
+            };
+            for (k, &stored) in block.ids.iter().enumerate() {
+                if k >= FINGER_COUNT {
+                    if stored != FINGER_NONE {
+                        v.push(Violation::new(
+                            ViolationKind::MisScaledFinger(*rid, k as u8),
+                            format!("{rid}: padding finger slot {k} holds {stored}"),
+                        ));
+                    }
+                    continue;
+                }
+                if stored != FINGER_NONE && self.region(RegionId::new(stored)).is_none() {
+                    v.push(Violation::new(
+                        ViolationKind::DanglingFinger(*rid, k as u8),
+                        format!("{rid}: finger {k} points at dead slot {stored}"),
+                    ));
+                    continue;
+                }
+                match self.try_finger_target(*rid, k) {
+                    Some(expected) if stored == expected => {}
+                    expected => v.push(Violation::new(
+                        ViolationKind::MisScaledFinger(*rid, k as u8),
+                        format!("{rid}: finger {k} holds {stored}, geometry says {expected:?}"),
+                    )),
+                }
+                if stored != FINGER_NONE {
+                    let packed = ((rid.as_u32() as u64) << 8) | k as u64;
+                    let seen = self
+                        .finger_in
+                        .get(stored as usize)
+                        .map_or(0, |l| l.iter().filter(|&&x| x == packed).count());
+                    if seen != 1 {
+                        v.push(Violation::new(
+                            ViolationKind::AsymmetricFingerLink(*rid, RegionId::new(stored)),
+                            format!("{rid}: finger {k} -> r{stored} has {seen} reverse entries"),
+                        ));
+                    }
+                }
+            }
+        }
+        // Reverse direction: every in-link names a live source whose
+        // forward finger really points here, and dead slots hold none.
+        for (s, links) in self.finger_in.iter().enumerate() {
+            let target_live = self.slots.get(s).is_some_and(|e| e.is_some());
+            for &packed in links {
+                let (src, k) = unpack_finger_ref(packed);
+                let src_rid = RegionId::new(src);
+                let forward = self
+                    .region(src_rid)
+                    .and_then(|_| self.slot_fingers.get(src as usize))
+                    .map(|b| b.ids[k]);
+                if !target_live || forward != Some(s as u32) {
+                    v.push(Violation::new(
+                        ViolationKind::AsymmetricFingerLink(src_rid, RegionId::new(s as u32)),
+                        format!("stale reverse finger entry r{src}[{k}] on slot {s}"),
+                    ));
+                }
+            }
+        }
         // Neighbor lists can also be wrong about far-apart regions (which
         // never share a bucket): verify every listed neighbor directly.
         for (rid, e) in &all {
@@ -1253,10 +1426,19 @@ impl Topology {
         let rid = if let Some(i) = self.free.pop() {
             self.slots[i as usize] = Some(entry);
             self.slot_geo[i as usize] = geo;
+            // A recycled slot's fingers were cleared (and its in-links
+            // retargeted) when it died; start from a clean block.
+            debug_assert!(
+                self.finger_in[i as usize].is_empty(),
+                "recycled slot {i} still has finger in-links"
+            );
+            self.slot_fingers[i as usize] = FingerBlock::EMPTY;
             RegionId::new(i)
         } else {
             self.slots.push(Some(entry));
             self.slot_geo.push(geo);
+            self.slot_fingers.push(FingerBlock::EMPTY);
+            self.finger_in.push(Vec::new());
             RegionId::new((self.slots.len() - 1) as u32)
         };
         self.grid.insert(rid, &region);
@@ -1281,6 +1463,126 @@ impl Topology {
             self.region_count -= 1;
             self.free.push(rid.as_u32());
         }
+    }
+
+    /// The correct value of finger `k` of live region `rid`, recomputed
+    /// from the current geometry: the region covering the point one
+    /// finger-scale away from `rid`'s center, or [`FINGER_NONE`] when that
+    /// point folds back into `rid` itself (near the space boundary, or
+    /// when the region is larger than the scale). This is the finger
+    /// selection rule — the audit recomputes it to cross-check the mirror.
+    fn finger_target(&self, rid: RegionId, k: usize) -> u32 {
+        self.try_finger_target(rid, k)
+            .expect("invariant: finger targets are clamped into a non-empty tessellation")
+    }
+
+    /// Fallible form of [`Self::finger_target`] for the audit, which must
+    /// not panic even when the tessellation is corrupt and the target
+    /// point resolves to no region.
+    fn try_finger_target(&self, rid: RegionId, k: usize) -> Option<u32> {
+        let (scale, dir) = (k / FINGER_DIRS, k % FINGER_DIRS);
+        let dist = self.finger_base() * (1u64 << scale) as f64;
+        let (dx, dy) = FINGER_DIR_OFFSETS[dir];
+        // Authoritative center, not the slot mirror: the audit recomputes
+        // through this path, and a drifted mirror must surface as exactly
+        // SlotMirrorDrift — not as a cascade of mis-scaled fingers.
+        let c = self.region(rid)?.region().center();
+        let p = self.space().clamp(c.translated(dx * dist, dy * dist));
+        let target = self.locate(p).ok()?;
+        Some(if target == rid {
+            FINGER_NONE
+        } else {
+            target.as_u32()
+        })
+    }
+
+    /// Recomputes finger `k` of live region `rid` and installs it,
+    /// maintaining the reverse index exactly: the old target (if any)
+    /// forgets this finger before the new target learns it.
+    fn recompute_one_finger(&mut self, rid: RegionId, k: usize) {
+        let slot = rid.index();
+        let old = self.slot_fingers[slot].ids[k];
+        if old != FINGER_NONE {
+            let packed = pack_finger_ref(rid, k);
+            let list = &mut self.finger_in[old as usize];
+            // The entry may already be gone if the caller drained the old
+            // target's in-link list wholesale (split/merge retargeting).
+            if let Some(i) = list.iter().position(|&x| x == packed) {
+                list.swap_remove(i);
+            }
+        }
+        let new = self.finger_target(rid, k);
+        self.slot_fingers[slot].ids[k] = new;
+        if new != FINGER_NONE {
+            self.finger_in[new as usize].push(pack_finger_ref(rid, k));
+        }
+    }
+
+    /// Recomputes every finger of live region `rid` (used when `rid`'s own
+    /// center moved: bootstrap, either half of a split, a merge survivor).
+    fn rebuild_fingers_of(&mut self, rid: RegionId) {
+        for k in 0..FINGER_COUNT {
+            self.recompute_one_finger(rid, k);
+        }
+    }
+
+    /// Clears every finger of `rid` and their reverse entries (the slot is
+    /// dying: a merge victim about to be freed).
+    fn clear_fingers_of(&mut self, rid: RegionId) {
+        for k in 0..FINGER_COUNT {
+            let old = self.slot_fingers[rid.index()].ids[k];
+            if old != FINGER_NONE {
+                let packed = pack_finger_ref(rid, k);
+                let list = &mut self.finger_in[old as usize];
+                if let Some(i) = list.iter().position(|&x| x == packed) {
+                    list.swap_remove(i);
+                }
+            }
+            self.slot_fingers[rid.index()].ids[k] = FINGER_NONE;
+        }
+    }
+
+    /// Retargets every finger currently pointing at slot `dead_or_changed`
+    /// (its rectangle changed or it died): drains the reverse list and
+    /// recomputes each referencing finger against the new geometry. Cost
+    /// is proportional to the slot's finger in-degree (average
+    /// [`FINGER_COUNT`]), not the network size.
+    fn retarget_in_links(&mut self, dead_or_changed: RegionId) {
+        let links = std::mem::take(&mut self.finger_in[dead_or_changed.index()]);
+        for packed in links {
+            let (src, k) = unpack_finger_ref(packed);
+            // Defensive: skip entries whose source died or no longer
+            // forward-points here (cannot happen while the index is exact,
+            // but a stale entry must not be resurrected).
+            if self.slots[src as usize].is_none()
+                || self.slot_fingers[src as usize].ids[k] != dead_or_changed.as_u32()
+            {
+                continue;
+            }
+            self.recompute_one_finger(RegionId::new(src), k);
+        }
+    }
+
+    /// Finger maintenance for [`Self::split_region`]: the kept half's
+    /// center moved and the given half is new, so both rebuild their own
+    /// fingers; every finger that pointed at the old rectangle may now
+    /// belong to either half, so the kept slot's in-links retarget.
+    fn fingers_after_split(&mut self, rid: RegionId, new_rid: RegionId) {
+        self.retarget_in_links(rid);
+        self.rebuild_fingers_of(rid);
+        self.rebuild_fingers_of(new_rid);
+    }
+
+    /// Finger maintenance for [`Self::merge_regions`]: the victim `b` is
+    /// already freed, so its fingers are cleared and its in-links retarget
+    /// (they now resolve inside the grown `a`); `a`'s in-links stay valid
+    /// — its rectangle only grew, so every referencing target point it
+    /// covered it still covers — but its own center moved, so its forward
+    /// fingers rebuild.
+    fn fingers_after_merge(&mut self, a: RegionId, b: RegionId) {
+        self.clear_fingers_of(b);
+        self.retarget_in_links(b);
+        self.rebuild_fingers_of(a);
     }
 }
 
@@ -1667,6 +1969,92 @@ mod tests {
         let v = t.audit();
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(matches!(v[0].kind, ViolationKind::SlotMirrorDrift(rr) if rr == r));
+    }
+
+    /// Index of a live (non-NONE) finger of `rid`, or of a NONE one.
+    fn finger_slot_where(t: &Topology, rid: RegionId, live: bool) -> usize {
+        t.slot_fingers[rid.index()].ids[..FINGER_COUNT]
+            .iter()
+            .position(|&id| (id != FINGER_NONE) == live)
+            .expect("a two-region topology has both live and self-resolving fingers")
+    }
+
+    #[test]
+    fn audit_flags_dangling_finger() {
+        let (mut t, n, r, _) = two_regions();
+        // Free a slot so there is a dead id to point at.
+        let j = t.register_node(Point::new(10.0, 50.0), 10.0);
+        let r2 = t.split_region(r, n, j).expect("split");
+        t.merge_regions(r, r2, n, None).expect("merge back");
+        // Redirect a live finger of `r` at the freed slot, dropping its
+        // reverse entry so exactly the dangling forward edge remains.
+        let k = finger_slot_where(&t, r, true);
+        let old = t.slot_fingers[r.index()].ids[k];
+        let packed = pack_finger_ref(r, k);
+        t.finger_in[old as usize].retain(|&x| x != packed);
+        t.slot_fingers[r.index()].ids[k] = r2.as_u32();
+        let v = t.audit();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(v[0].kind, ViolationKind::DanglingFinger(rr, kk) if rr == r && kk == k as u8),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_mis_scaled_finger() {
+        let (mut t, _, r, nr) = two_regions();
+        // Point a finger that geometry says resolves to `r` itself at the
+        // neighbor, with a matching reverse entry, so only the finger
+        // selection rule is broken — not the reverse index.
+        let k = finger_slot_where(&t, r, false);
+        t.slot_fingers[r.index()].ids[k] = nr.as_u32();
+        t.finger_in[nr.index()].push(pack_finger_ref(r, k));
+        let v = t.audit();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(v[0].kind, ViolationKind::MisScaledFinger(rr, kk) if rr == r && kk == k as u8),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_asymmetric_finger_link() {
+        let (mut t, _, r, _) = two_regions();
+        // Drop the reverse entry of a correct forward finger: the forward
+        // edge still matches geometry, so only the mirror check fires.
+        let k = finger_slot_where(&t, r, true);
+        let target = t.slot_fingers[r.index()].ids[k];
+        let packed = pack_finger_ref(r, k);
+        t.finger_in[target as usize].retain(|&x| x != packed);
+        let v = t.audit();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            v.iter().all(|x| matches!(
+                x.kind,
+                ViolationKind::AsymmetricFingerLink(a, b)
+                    if a == r && b == RegionId::new(target)
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_flags_stale_reverse_finger_entry() {
+        let (mut t, _, r, nr) = two_regions();
+        // Plant a reverse entry whose named source finger points elsewhere:
+        // only the reverse sweep can see it.
+        let k = finger_slot_where(&t, r, false);
+        t.finger_in[nr.index()].push(pack_finger_ref(r, k));
+        let v = t.audit();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(
+            matches!(
+                v[0].kind,
+                ViolationKind::AsymmetricFingerLink(a, b) if a == r && b == nr
+            ),
+            "{v:?}"
+        );
     }
 
     #[test]

@@ -10,6 +10,13 @@
 //! the queries repeatedly target one hot point so those entries are
 //! actually consulted. Any stale entry that leaked across an epoch bump
 //! (or a missing bump at a mutation site) shows up as a diverging path.
+//!
+//! Every query additionally runs through the two-phase express engine
+//! ([`routing::route_express_into`]) with the same scratch, so the
+//! express-link maintenance at each mutation site is interleaved with the
+//! structural churn: express routes must terminate at the same region as
+//! the uncached reference, never exceed its hop count, and finish with a
+//! last mile that is hop-for-hop the greedy reference from the handoff.
 
 use geogrid_core::routing::{self, RouteScratch};
 use geogrid_core::{RegionId, Topology};
@@ -133,6 +140,46 @@ fn divergence(
     None
 }
 
+/// Routes `from → target` through the two-phase express engine (same
+/// long-lived scratch — its express slabs carry entries across mutations)
+/// and checks the express contract against the uncached reference: same
+/// executor, never more hops, and a last-mile segment that is hop-for-hop
+/// the greedy reference from the handoff region.
+fn express_divergence(
+    t: &Topology,
+    scratch: &mut RouteScratch,
+    from: RegionId,
+    target: Point,
+) -> Option<String> {
+    let reference = routing::route_uncached(t, from, target).expect("reference route");
+    let executor = routing::route_express_into(t, from, target, scratch).expect("express route");
+    if executor != reference.executor {
+        return Some(format!(
+            "express executor diverged: {executor} vs reference {} ({from} -> {target:?})",
+            reference.executor
+        ));
+    }
+    if scratch.hop_count() > reference.hop_count() {
+        return Some(format!(
+            "express route longer than greedy: {} vs {} hops ({from} -> {target:?}, prefix {})",
+            scratch.hop_count(),
+            reference.hop_count(),
+            scratch.express_prefix()
+        ));
+    }
+    let handoff = scratch.hops()[scratch.express_prefix()];
+    let tail = routing::route_uncached(t, handoff, target).expect("tail reference");
+    if scratch.hops()[scratch.express_prefix()..] != tail.hops[..] {
+        return Some(format!(
+            "express last mile diverged from greedy reference at handoff {handoff}: \
+             {:?} vs {:?} ({from} -> {target:?})",
+            &scratch.hops()[scratch.express_prefix()..],
+            tail.hops
+        ));
+    }
+    None
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -163,6 +210,13 @@ proptest! {
                 (from_a, probe(64.0 - x, 64.0 - y)),
             ] {
                 if let Some(d) = divergence(&t, &mut scratch, from, target) {
+                    prop_assert!(false, "after op {} at ({}, {}): {}", op, x, y, d);
+                }
+                // The express engine shares the scratch (and its cached
+                // express slabs) with the greedy queries above, so every
+                // mutation's finger rewiring is exercised while stale
+                // express entries from earlier epochs are still resident.
+                if let Some(d) = express_divergence(&t, &mut scratch, from, target) {
                     prop_assert!(false, "after op {} at ({}, {}): {}", op, x, y, d);
                 }
             }

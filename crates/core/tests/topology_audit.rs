@@ -9,7 +9,11 @@
 //!    operation the full audit reports no violation — except the one legal
 //!    transient, [`ViolationKind::OrphanedOwner`], which may appear only
 //!    between `remove_node` returning an orphan and its repair, and must
-//!    name exactly that orphan.
+//!    name exactly that orphan. Since the audit now recomputes every
+//!    express-link finger against the finger selection rule and sweeps the
+//!    reverse index, this property also proves the incremental finger
+//!    maintenance at each split/merge/fail-over/hand-off leaves zero
+//!    dangling, mis-scaled, or asymmetric fingers.
 //! 2. **Tessellation completeness.** The live regions always partition
 //!    the space: areas sum to the space's area, no two regions overlap
 //!    with positive area, every sampled point is covered by exactly one
