@@ -19,6 +19,7 @@
 //! | GG003 | no `.unwrap()` in non-test `crates/core` code; `.expect(...)` only with an `"invariant: ..."` message |
 //! | GG004 | `#![forbid(unsafe_code)]` present in every first-party crate root |
 //! | GG005 | the geometry epoch field is written only inside `bump_epoch` |
+//! | GG006 | the snapshot publication primitives (`publish_snapshot`, `install_snapshot`) are called only from `// audit: geometry-rewrite` / `// audit: snapshot-publish` marked functions |
 //!
 //! Every rule has a fix-it hint ([`hint`]) and seeded-violation self-tests
 //! (this file's test module) proving it catches the mistake it exists
@@ -90,6 +91,15 @@ pub const RULES: &[RuleInfo] = &[
         summary: "the geometry epoch field is written only inside bump_epoch",
         hint: "route every epoch change through Topology::bump_epoch so \
                epoch-keyed route caches observe all geometry versions",
+    },
+    RuleInfo {
+        id: "GG006",
+        summary: "snapshot publication primitives (publish_snapshot, \
+                  install_snapshot) are called only from marked publication \
+                  sites, so readers observe one snapshot per geometry epoch",
+        hint: "publish through the geometry-rewrite sites (which call \
+               publish_snapshot beside bump_epoch), or mark a deliberate new \
+               publication site with `// audit: snapshot-publish`",
     },
 ];
 
@@ -759,6 +769,16 @@ pub const DEFAULT_REQUIRES: &[&[&str]] = &[
     &["rewrite_geometry", "alloc_slot", "free_slot"],
 ];
 
+/// The snapshot publication primitives: the only way a new
+/// `TopologySnapshot` reaches concurrent readers. Calling either outside
+/// a `// audit: geometry-rewrite` or `// audit: snapshot-publish` marked
+/// function is a GG006 violation — an unmarked publication site could
+/// hand readers a snapshot that skips (or duplicates) a geometry epoch.
+/// The primitives may call each other (`publish_snapshot` installs into
+/// the cell), and test code may install snapshots freely to seed
+/// stale/corrupt states for the runtime auditor.
+pub const SNAPSHOT_PRIMITIVES: &[&str] = &["publish_snapshot", "install_snapshot"];
+
 const HOT_BANNED_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_owned", "to_string"];
 const HOT_BANNED_TYPES: &[&str] = &[
     "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
@@ -819,6 +839,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     let mut out = Vec::new();
     rule_geometry_rewrite(&fm, &mut out);
     rule_hot_path(&fm, &mut out);
+    rule_snapshot_publish(&fm, &mut out);
     if is_core_runtime_path(path) {
         rule_core_unwrap(&fm, &mut out);
         rule_epoch_write(&fm, &mut out);
@@ -864,6 +885,33 @@ fn rule_geometry_rewrite(fm: &FileModel, out: &mut Vec<Finding>) {
                         ),
                     });
                 }
+            }
+        }
+    }
+}
+
+/// GG006: snapshot publication only from marked sites.
+fn rule_snapshot_publish(fm: &FileModel, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        let marked = f
+            .markers
+            .iter()
+            .any(|m| m.starts_with("geometry-rewrite") || m.starts_with("snapshot-publish"));
+        if marked || f.is_test || SNAPSHOT_PRIMITIVES.contains(&f.name.as_str()) {
+            continue;
+        }
+        for callee in SNAPSHOT_PRIMITIVES {
+            if body_calls(&fm.tokens, &f.body, callee) {
+                out.push(Finding {
+                    rule: "GG006",
+                    path: fm.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` calls `{callee}` without an `audit: geometry-rewrite` \
+                         or `audit: snapshot-publish` marker",
+                        f.name,
+                    ),
+                });
             }
         }
     }
@@ -1157,6 +1205,59 @@ mod tests {
             mod tests {
                 #[test]
                 fn probes_mutators() { t.free_slot(rid); }
+            }
+        "#;
+        assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg006_catches_unmarked_publication() {
+        let src = r#"
+            pub fn helpful_shortcut(&mut self) {
+                self.publish_snapshot();
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG006"]);
+        assert!(
+            f[0].message.contains("publish_snapshot"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn gg006_catches_unmarked_cell_install() {
+        let src = r#"
+            pub fn sideload(&mut self, cell: &SnapshotCell) {
+                cell.install_snapshot(self.snapshot());
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG006"]);
+        assert!(f[0].message.contains("install_snapshot"));
+    }
+
+    #[test]
+    fn gg006_accepts_marked_sites_primitives_and_tests() {
+        let src = r#"
+            // audit: snapshot-publish
+            fn publish_snapshot(&mut self) {
+                if let Some(cell) = &self.publish {
+                    cell.install_snapshot(self.snapshot());
+                }
+            }
+            // audit: geometry-rewrite requires = bump_epoch, publish_snapshot
+            pub fn split_region(&mut self) {
+                self.bump_epoch();
+                self.publish_snapshot();
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn seeds_a_stale_snapshot() {
+                    cell.install_snapshot(old);
+                }
             }
         "#;
         assert!(lint_source(CORE_PATH, src).is_empty());

@@ -4,15 +4,15 @@
 //!
 //! *Cold* is [`routing::route_uncached`]: the original per-query
 //! `HashSet` + `Vec` implementation, no state carried between queries.
-//! *Warm* is [`routing::route_into`] through one persistent
-//! [`RouteScratch`], so repeated queries toward the hot cell resolve
-//! their next hops from the epoch-validated cache.
+//! *Warm* is a greedy [`Router::route`] through one persistent
+//! [`Router`], so repeated queries toward the hot cell resolve their
+//! next hops from the epoch-validated cache.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use geogrid_bench::common::build_network;
 use geogrid_bench::ExperimentConfig;
 use geogrid_core::builder::Mode;
-use geogrid_core::routing::{self, RouteScratch};
+use geogrid_core::routing::{self, RouteOptions, Router};
 use geogrid_core::{RegionId, Topology};
 use geogrid_geometry::Point;
 use std::hint::black_box;
@@ -73,18 +73,23 @@ fn bench_routing(c: &mut Criterion) {
             BenchmarkId::from_parameter(topo.region_count()),
             topo,
             |b, topo| {
-                let mut scratch = RouteScratch::new();
+                let mut router = Router::new();
+                let greedy = RouteOptions::greedy();
                 // Warm the next-hop cache over one pass of the stream.
                 for i in 1..=4_096u64 {
                     let from = sources[(i as usize).wrapping_mul(7) % sources.len()];
-                    routing::route_into(topo, from, hotspot_target(i), &mut scratch).unwrap();
+                    router
+                        .route(topo, from, hotspot_target(i), &greedy)
+                        .unwrap();
                 }
                 let mut i = 0u64;
                 b.iter(|| {
                     i = i.wrapping_add(1);
                     let from = sources[(i as usize).wrapping_mul(7) % sources.len()];
                     black_box(
-                        routing::route_into(topo, from, hotspot_target(i), &mut scratch).unwrap(),
+                        router
+                            .route(topo, from, hotspot_target(i), &greedy)
+                            .unwrap(),
                     )
                 })
             },

@@ -15,10 +15,10 @@
 //!
 //! *Cold* routes through `routing::route_uncached` (per-query `HashSet`
 //! and `Vec`s, nothing shared between queries); *warm* routes the same
-//! query stream through one persistent `RouteScratch` — once via the
-//! paper-faithful greedy `routing::route_into` (hop-for-hop identical to
-//! cold, so the ratio isolates engine overhead) and once via
-//! `routing::route_express_into`, whose express-finger descent shortens
+//! query stream through one persistent `Router` — once with the
+//! paper-faithful greedy `RouteOptions::greedy()` (hop-for-hop identical
+//! to cold, so the ratio isolates engine overhead) and once with
+//! `RouteOptions::express()`, whose express-finger descent shortens
 //! long paths to O(log N) hops before handing off to the same greedy
 //! walk. Each variant's hops-vs-N scaling exponent is fitted by
 //! least squares on the log-log sweep.
@@ -28,7 +28,7 @@ use std::time::Instant;
 use geogrid_bench::common::build_network;
 use geogrid_bench::ExperimentConfig;
 use geogrid_core::builder::Mode;
-use geogrid_core::routing::{self, RouteScratch};
+use geogrid_core::routing::{self, RouteOptions, Router};
 use geogrid_core::RegionId;
 use geogrid_geometry::Point;
 
@@ -85,29 +85,32 @@ fn warm_pass(
             hotspot_target(i),
         )
     };
-    let mut scratch = RouteScratch::new();
-    let run = |scratch: &mut RouteScratch, from, target| {
-        if express {
-            routing::route_express_into(topo, from, target, scratch).expect("routable")
-        } else {
-            routing::route_into(topo, from, target, scratch).expect("routable")
-        }
+    let mut router = Router::new();
+    let options = if express {
+        RouteOptions::express()
+    } else {
+        RouteOptions::greedy()
+    };
+    let run = |router: &mut Router, from, target| {
+        router
+            .route(topo, from, target, &options)
+            .expect("routable")
     };
     for i in 1..=routes as u64 {
         let (from, target) = pair(i);
-        run(&mut scratch, from, target);
+        run(&mut router, from, target);
     }
-    scratch.reset_stats();
+    router.reset_stats();
     let start = Instant::now();
     let (mut hops, mut prefix) = (0usize, 0usize);
     for i in 1..=routes as u64 {
         let (from, target) = pair(i);
-        run(&mut scratch, from, target);
-        hops += scratch.hop_count();
-        prefix += scratch.express_prefix();
+        run(&mut router, from, target);
+        hops += router.hop_count();
+        prefix += router.express_prefix();
     }
     let ns = start.elapsed().as_nanos() as f64 / routes as f64;
-    (ns, hops, prefix, scratch.hit_rate())
+    (ns, hops, prefix, router.hit_rate())
 }
 
 /// Measures one network size: a shared cold reference pass, then a warm

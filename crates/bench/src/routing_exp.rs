@@ -8,7 +8,7 @@ use std::collections::HashMap;
 
 use geogrid_core::builder::Mode;
 use geogrid_core::load::sample_routing_pairs;
-use geogrid_core::routing;
+use geogrid_core::routing::{RouteOptions, Router};
 use geogrid_core::RegionId;
 use geogrid_metrics::{gini, table::Table, Summary};
 
@@ -37,13 +37,14 @@ pub fn run_population(config: &ExperimentConfig, nodes: usize) -> HopRow {
     let topo = build_network(config, Mode::Basic, nodes, 0);
     let mut rng = config.rng(22, nodes as u64);
     let pairs = sample_routing_pairs(&topo, &mut rng, SAMPLES);
-    // One scratch for the whole sweep: the 1,000 sampled routes share
+    // One router for the whole sweep: the 1,000 sampled routes share
     // buffers and the epoch-validated next-hop cache.
-    let mut scratch = routing::RouteScratch::new();
+    let mut router = Router::new();
     let hops = Summary::from_values(pairs.iter().map(|(from, target)| {
-        routing::route_into(&topo, *from, *target, &mut scratch)
+        router
+            .route(&topo, *from, *target, &RouteOptions::greedy())
             .expect("route succeeds on valid topology");
-        scratch.hop_count() as f64
+        router.hop_count() as f64
     }));
     HopRow {
         nodes,
@@ -100,20 +101,24 @@ pub fn spread_experiment(config: &ExperimentConfig) {
     let mut rng = config.rng(33, 0);
     let pairs = sample_routing_pairs(&topo, &mut rng, 2_000);
     let mut table = Table::new(["strategy", "transit_gini", "mean_hops"]);
-    let mut scratch = routing::RouteScratch::new();
+    let mut router = Router::new();
     for (label, slack) in [("greedy", None), ("randomized_25pct", Some(0.25))] {
         let mut transits: HashMap<RegionId, f64> = HashMap::new();
         let mut hops = 0usize;
         for (from, target) in &pairs {
             match slack {
-                None => routing::route_into(&topo, *from, *target, &mut scratch),
-                Some(s) => {
-                    routing::route_randomized_into(&topo, *from, *target, s, &mut rng, &mut scratch)
-                }
+                None => router.route(&topo, *from, *target, &RouteOptions::greedy()),
+                Some(s) => router.route_with_rng(
+                    &topo,
+                    *from,
+                    *target,
+                    &RouteOptions::randomized(s),
+                    &mut rng,
+                ),
             }
             .expect("routable");
-            hops += scratch.hop_count();
-            let trace = scratch.hops();
+            hops += router.hop_count();
+            let trace = router.hops();
             for rid in &trace[..trace.len().saturating_sub(1)] {
                 *transits.entry(*rid).or_default() += 1.0;
             }

@@ -85,6 +85,22 @@ pub enum ViolationKind {
     /// [`repair_orphan`](crate::join::repair_orphan)), so debug hooks
     /// tolerate it while [`Topology::validate`] still reports it.
     OrphanedOwner(NodeId, RegionId),
+    /// The published [`TopologySnapshot`](crate::snapshot::TopologySnapshot)
+    /// identifies a different `(instance, epoch)` than the topology it was
+    /// published from: a geometry rewrite ran without republishing (a
+    /// GG001/GG006 marker was bypassed), or a snapshot from another
+    /// instance was installed into this topology's cell.
+    StaleSnapshot {
+        /// Epoch recorded in the published snapshot.
+        published: u64,
+        /// The topology's current epoch.
+        current: u64,
+    },
+    /// The published snapshot carries the right epoch but its *content*
+    /// (liveness, geometry mirror, finger blocks, adjacency, or grid
+    /// index) disagrees with a fresh recomputation from the authoritative
+    /// structures — the snapshot builder dropped or corrupted state.
+    SnapshotDrift(RegionId),
 }
 
 impl ViolationKind {
@@ -103,6 +119,8 @@ impl ViolationKind {
             ViolationKind::AsymmetricFingerLink(..) => "asymmetric-finger-link",
             ViolationKind::DualPeerMismatch(..) => "dual-peer-mismatch",
             ViolationKind::OrphanedOwner(..) => "orphaned-owner",
+            ViolationKind::StaleSnapshot { .. } => "stale-snapshot",
+            ViolationKind::SnapshotDrift(..) => "snapshot-drift",
         }
     }
 }

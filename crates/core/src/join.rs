@@ -147,7 +147,7 @@ pub fn join_basic_with(
     capacity: f64,
     scratch: &mut routing::RouteScratch,
 ) -> Result<(NodeId, JoinOutcome), CoreError> {
-    let mut rid = routing::route_into(topo, entry, coord, scratch)?;
+    let mut rid = routing::greedy_into(topo, entry, coord, scratch)?;
     // Respect the extent floor: if the covering region is already minimal,
     // split the nearest splittable region instead (the geographic
     // association is intentionally breakable, §2.4).
@@ -197,7 +197,7 @@ pub fn join_dual_with(
     capacity: f64,
     scratch: &mut routing::RouteScratch,
 ) -> Result<(NodeId, JoinOutcome), CoreError> {
-    let rid = routing::route_into(topo, entry, coord, scratch)?;
+    let rid = routing::greedy_into(topo, entry, coord, scratch)?;
 
     // Candidate set: the covering region and its neighbors.
     let mut candidates = vec![rid];

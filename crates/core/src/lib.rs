@@ -21,8 +21,13 @@
 //!   ([`Topology::audit`]), plus the stateful [`TopologyAuditor`](audit::TopologyAuditor)
 //!   that also tracks epoch monotonicity. The static side of the same
 //!   story (the `cargo lint-all` rules) lives in `crates/audit`.
+//! * [`snapshot`] — immutable epoch-published [`TopologySnapshot`](snapshot::TopologySnapshot)s
+//!   behind an RCU-style [`SnapshotCell`](snapshot::SnapshotCell): N reader
+//!   threads route lock-free against the latest snapshot while split/merge
+//!   writers serialize on the mutable [`Topology`].
 //! * [`routing`] — greedy geographic forwarding and query-region fan-out,
-//!   as pure decisions over topology views.
+//!   as pure decisions over topology views (the [`Router`](routing::Router)
+//!   facade works on both `&Topology` and `&TopologySnapshot`).
 //! * [`join`] / [`builder`] — the paper's bootstrap protocols: basic
 //!   (route-and-split) and dual-peer (probe the neighborhood, join the
 //!   weakest owner), plus whole-network constructors.
@@ -51,9 +56,11 @@
 //! assert!(topo.region_count() <= 200);
 //!
 //! // Route a query to the region covering a point.
+//! use geogrid_core::routing::{RouteOptions, Router};
 //! let from = topo.region_ids().next().unwrap();
-//! let path = geogrid_core::routing::route(topo, from, Point::new(12.0, 51.0)).unwrap();
-//! assert!(topo.region(path.executor).unwrap().covers(Point::new(12.0, 51.0), topo.space()));
+//! let mut router = Router::new();
+//! let executor = router.route(topo, from, Point::new(12.0, 51.0), &RouteOptions::greedy()).unwrap();
+//! assert!(topo.region(executor).unwrap().covers(Point::new(12.0, 51.0), topo.space()));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -70,9 +77,12 @@ pub mod load;
 pub mod node;
 pub mod routing;
 pub mod service;
+pub mod snapshot;
 pub mod topology;
 
 pub use error::CoreError;
 pub use id::{NodeId, RegionId};
 pub use node::NodeInfo;
+pub use routing::{RouteOptions, Router};
+pub use snapshot::{SnapshotCell, SnapshotReader, TopologySnapshot, TopologyView};
 pub use topology::Topology;

@@ -110,7 +110,7 @@ impl LoadMap {
         for _ in 0..samples {
             let q = generator.generate(rng, field);
             let from = ids[rng.random_range(0..ids.len())];
-            if routing::route_into(topo, from, q.target, &mut scratch).is_ok() {
+            if routing::greedy_into(topo, from, q.target, &mut scratch).is_ok() {
                 // Transit regions do forwarding work; the executor's query
                 // work is already in the grid component.
                 let hops = scratch.hops();

@@ -57,15 +57,31 @@
 //! test drives both through random topology mutations to prove the
 //! equivalence.
 //!
-//! [`route`] and [`route_randomized`] remain as thin wrappers over a
-//! thread-local scratch, so every existing caller gets the engine for
-//! free; batch callers hold their own [`RouteScratch`] and use
-//! [`route_into`] / [`route_randomized_into`].
+//! # The Router facade
+//!
+//! [`Router`] is the one entry point: it owns a [`RouteScratch`] (and an
+//! RNG for randomized queries) and dispatches on [`RouteOptions`] —
+//! greedy, express, or randomized. Every engine is generic over
+//! [`TopologyView`], so the same monomorphized code routes on a live
+//! `&Topology` (single-threaded) or on an immutable
+//! [`TopologySnapshot`](crate::snapshot::TopologySnapshot) published
+//! through a [`SnapshotCell`](crate::snapshot::SnapshotCell) — N reader
+//! threads each hold their own `Router` and route lock-free while
+//! writers mutate the live topology. The historical free functions
+//! ([`route`], [`route_into`], [`route_express`], [`route_express_into`],
+//! [`route_randomized`], [`route_randomized_into`]) remain as
+//! `#[deprecated]` thin wrappers over the same engines.
+//!
+//! The cache slabs index slots as `u32` (they were `u16` until the
+//! 65k-slot sentinel ceiling silently disengaged every tier on
+//! million-region networks); [`RouteScratch`] memory is bounded by a
+//! per-tier slab budget instead of a fixed slab count.
 //!
 //! # Express links
 //!
 //! Greedy forwarding costs `O(√N)` hops no matter how cheap each hop is,
-//! so beyond ~16k regions route *length* dominates. [`route_express_into`]
+//! so beyond ~16k regions route *length* dominates. The express engine
+//! ([`RouteOptions::express`])
 //! layers the topology's express fingers (see
 //! [`Topology::slot_fingers`]: per region, one link per doubling of
 //! distance per compass direction, Kleinberg/Chord-style) on top of the
@@ -93,9 +109,11 @@ use std::collections::HashSet;
 
 use geogrid_geometry::{Point, Region};
 use geogrid_marks::hot_path;
+use rand::SeedableRng;
 
-use crate::topology::{RegionEntry, FINGER_COUNT, FINGER_NONE};
-use crate::{CoreError, RegionId, Topology};
+use crate::snapshot::TopologyView;
+use crate::topology::{FINGER_COUNT, FINGER_NONE};
+use crate::{CoreError, RegionId};
 
 /// The result of routing a request to its executor region.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -114,14 +132,20 @@ impl RoutePath {
     }
 }
 
-/// Upper bound on promoted destination cells. Bounds cache memory under
-/// uniform traffic (cells beyond the cap bypass the cache and just use
-/// the scratch buffers); hot-spot streams promote their few hot cells
-/// long before the cap fills.
-const ROUTE_CACHE_MAX_CELLS: usize = 64;
+/// Memory budget per cache tier, bounding `slab_cap`. One promoted
+/// destination costs `4 × slot_count` bytes per slab, so the per-tier cap
+/// shrinks as the network grows: up to 512k slots the historical 64-slab
+/// cap applies unchanged; at 1M slots each slab is 4 MiB and the cap
+/// drops to 32.
+const SLAB_TIER_BUDGET_BYTES: usize = 128 << 20;
 
-/// Upper bound on promoted exact destinations (the L1 tier).
-const ROUTE_CACHE_MAX_TARGETS: usize = 64;
+/// Upper bound on promoted destinations per cache tier at `slots` slots.
+/// Bounds cache memory under uniform traffic (destinations beyond the cap
+/// bypass the cache and just use the scratch buffers); hot-spot streams
+/// promote their few hot targets long before the cap fills.
+fn slab_cap(slots: usize) -> usize {
+    (SLAB_TIER_BUDGET_BYTES / (4 * slots.max(1))).clamp(8, 64)
+}
 
 /// Open-addressed slots in the target-recurrence table (power of two).
 const TARGET_TABLE_SLOTS: usize = 512;
@@ -155,16 +179,18 @@ const TARGET_TABLE_PROBES: usize = 8;
 const ENTRY_EMPTY: u32 = u32::MAX;
 
 /// Slab entry: not yet derived for this `(destination, slot)`.
-const SLOT_EMPTY: u16 = u16::MAX;
+const SLOT_EMPTY: u32 = u32::MAX;
 
 /// Slab entry: nothing cacheable from this slot (no single neighbor
 /// dominates the whole cell, or no neighbors at all) — full scan.
-const SLOT_SCAN: u16 = u16::MAX - 1;
+const SLOT_SCAN: u32 = u32::MAX - 1;
 
-/// Largest slot table the dense tiers index: slab entries are `u16` so
-/// the whole hot working set stays cache-resident, which caps the slot
-/// space at the sentinel values. Beyond this (a >65k-region network —
-/// 4× the largest evaluated size) routing still works, just uncached.
+/// Largest slot table the dense tiers index, capped by the `u32` sentinel
+/// values. The slabs were originally `u16`, which silently disengaged
+/// every cache tier beyond 65k slots — the 1M-region sweep paid ~3 µs of
+/// on-the-fly recomputation per route. At `u32` the ceiling (~4.3B slots)
+/// is past any network this process can hold, so the tiers stay engaged
+/// at every evaluated size; `slab_cap` bounds the memory instead.
 const ROUTE_CACHE_MAX_SLOTS: usize = SLOT_SCAN as usize;
 
 /// Target-table state: slot is free.
@@ -208,22 +234,22 @@ struct RouteCache {
     cell_slab: Vec<u32>,
     /// Per promoted cell: source slot → cell-dominant neighbor's raw id,
     /// or one of the `SLOT_*` sentinels.
-    cell_slabs: Vec<Vec<u16>>,
+    cell_slabs: Vec<Vec<u32>>,
     /// Lossy open-addressed recurrence tracker for exact destinations.
     target_table: Vec<TargetSlot>,
     /// Per promoted exact destination: source slot → that target's greedy
     /// argmin over all neighbors, or one of the `SLOT_*` sentinels.
-    target_slabs: Vec<Vec<u16>>,
+    target_slabs: Vec<Vec<u32>>,
     /// Per promoted exact destination: the slot whose region covers it
     /// (`SLOT_EMPTY` until first derived). The covering region is unique
     /// and epoch-stable, so the hot loop compares slot numbers instead of
     /// re-testing rectangle containment every hop.
-    target_terminals: Vec<u16>,
+    target_terminals: Vec<u32>,
     /// Per promoted exact destination: source slot → the express finger
     /// the two-phase route follows from there (`SLOT_SCAN` = hand off to
     /// greedy at that slot). The express decision ignores visited marks,
     /// so a cached entry is always followed as-is — no fallback arm.
-    target_express: Vec<Vec<u16>>,
+    target_express: Vec<Vec<u32>>,
     /// Derived entries across all slabs (for stats).
     entries: usize,
 }
@@ -261,7 +287,7 @@ impl RouteCache {
             if s.x == x && s.y == y {
                 return match s.state {
                     TSTATE_SEEN => {
-                        if self.target_slabs.len() >= ROUTE_CACHE_MAX_TARGETS {
+                        if self.target_slabs.len() >= slab_cap(slots) {
                             return None;
                         }
                         let slab = self.target_slabs.len();
@@ -293,12 +319,13 @@ impl RouteCache {
 }
 
 /// Reusable routing state: visited stamps, hop/candidate buffers, and the
-/// epoch-invalidated next-hop cache. Create once, pass to [`route_into`]
-/// for every query; see the [module docs](self) for the design.
+/// epoch-invalidated next-hop cache. [`Router`] owns one; callers on the
+/// deprecated free-function API hold one directly. See the
+/// [module docs](self) for the design.
 ///
 /// A scratch may be reused freely across different [`Topology`] instances
-/// — the cache re-keys itself on `(instance_id, epoch)` and flushes
-/// whenever either changes.
+/// and [`TopologyView`]s — the cache re-keys itself on
+/// `(instance_id, epoch)` and flushes whenever either changes.
 #[derive(Debug, Clone)]
 pub struct RouteScratch {
     /// `stamps[slot] == generation` ⇔ slot visited in the current query.
@@ -307,8 +334,7 @@ pub struct RouteScratch {
     /// clear every 255 generations at the `u8` wrap.
     stamps: Vec<u8>,
     generation: u8,
-    /// Hop trace of the most recent successful `route_into` /
-    /// `route_randomized_into` / `route_express_into` call.
+    /// Hop trace of the most recent successful routed query.
     hops: Vec<RegionId>,
     /// Length of the express prefix of the most recent trace (0 for plain
     /// greedy routes); see [`Self::express_prefix`].
@@ -358,7 +384,7 @@ impl RouteScratch {
     }
 
     /// Index into [`Self::hops`] of the express→greedy handoff region of
-    /// the most recent [`route_express_into`] call: `hops()[prefix..]` is
+    /// the most recent express route: `hops()[prefix..]` is
     /// the last-mile greedy segment (hop-for-hop what [`route_uncached`]
     /// walks from the handoff region), `hops()[..prefix]` the express
     /// descent. 0 when no express hop was taken or after a plain greedy
@@ -394,23 +420,23 @@ impl RouteScratch {
         self.cache_key = (u64::MAX, u64::MAX);
     }
 
-    /// Prepares the scratch for one query against `topo`: re-keys the
+    /// Prepares the scratch for one query against `view`: re-keys the
     /// cache, resizes the stamp and cell tables, and starts a fresh
     /// visited generation.
-    fn begin(&mut self, topo: &Topology) {
-        let key = (topo.instance_id(), topo.epoch());
+    fn begin<V: TopologyView + ?Sized>(&mut self, view: &V) {
+        let key = (view.instance_id(), view.epoch());
         if self.cache_key != key {
             self.cache.flush();
             self.cache_key = key;
         }
-        let cells = topo.grid_cell_count();
+        let cells = view.grid_cell_count();
         if self.cache.cell_slab.len() != cells {
             self.cache.cell_slab = vec![ENTRY_EMPTY; cells];
         }
         if self.cache.target_table.is_empty() {
             self.cache.target_table = vec![EMPTY_TARGET_SLOT; TARGET_TABLE_SLOTS];
         }
-        let slots = topo.slot_count();
+        let slots = view.slot_count();
         if self.stamps.len() < slots {
             self.stamps.resize(slots, 0);
         }
@@ -452,7 +478,7 @@ impl RouteScratch {
         if slab != ENTRY_EMPTY {
             return Some(slab as usize);
         }
-        if self.cache.cell_slabs.len() >= ROUTE_CACHE_MAX_CELLS {
+        if self.cache.cell_slabs.len() >= slab_cap(slots) {
             return None;
         }
         let idx = self.cache.cell_slabs.len();
@@ -468,29 +494,28 @@ impl RouteScratch {
 ///
 /// Returns `None` when `current` covers the target or no unvisited
 /// neighbor exists.
-pub fn next_hop(
-    topo: &Topology,
+pub fn next_hop<V: TopologyView + ?Sized>(
+    view: &V,
     current: RegionId,
     target: Point,
     visited: &HashSet<RegionId>,
 ) -> Option<RegionId> {
-    let entry = topo.region(current)?;
-    if entry.covers(target, topo.space()) {
+    let slot = current.index();
+    if !view.is_live(slot) {
+        return None;
+    }
+    if view.covers(slot, target) {
         return None;
     }
     // Compute each neighbor's sort key once up front; a comparator that
     // recomputes both sides' distances evaluates each key about twice, and
     // the center distance (with its sqrt) is the expensive part.
-    entry
-        .neighbors()
+    view.neighbors(slot)
         .iter()
         .copied()
         .filter(|n| !visited.contains(n))
         .map(|n| {
-            let r = topo
-                .region(n)
-                .expect("invariant: neighbor lists reference live regions")
-                .region();
+            let r = view.slot_rect(n.index());
             (r.distance_to_point(target), r.center().distance(target), n)
         })
         .min_by(|a, b| {
@@ -500,26 +525,26 @@ pub fn next_hop(
         .map(|(_, _, n)| n)
 }
 
-/// One scan over the neighbors of `entry`, reading the SoA
-/// rectangle/center mirrors: returns the greedy minimum over **all**
-/// neighbors (what the cache stores) and over **unvisited** neighbors
-/// (what this query follows). Orders by the same
+/// One scan over the neighbors of the region in `from_slot`, reading the
+/// view's rectangle/center mirrors: returns the greedy minimum over
+/// **all** neighbors (what the cache stores) and over **unvisited**
+/// neighbors (what this query follows). Orders by the same
 /// `(closest-point distance, center distance, id)` key as [`next_hop`].
 #[inline]
 #[hot_path]
-fn scan_next_hop(
-    topo: &Topology,
-    entry: &RegionEntry,
+fn scan_next_hop<V: TopologyView + ?Sized>(
+    view: &V,
+    from_slot: usize,
     target: Point,
     scratch: &RouteScratch,
 ) -> (Option<RegionId>, Option<RegionId>) {
     let mut best_all: Option<(f64, f64, RegionId)> = None;
     let mut best_unvisited: Option<(f64, f64, RegionId)> = None;
-    for &n in entry.neighbors() {
+    for &n in view.neighbors(from_slot) {
         let slot = n.index();
         let key = (
-            topo.slot_rect(slot).distance_to_point(target),
-            topo.slot_center(slot).distance(target),
+            view.slot_rect(slot).distance_to_point(target),
+            view.slot_center(slot).distance(target),
             n,
         );
         if best_all.is_none_or(|b| key < b) {
@@ -543,13 +568,13 @@ fn scan_next_hop(
 /// [`SLOT_SCAN`] when no single neighbor dominates the cell — and the
 /// best unvisited neighbor for this query's exact target.
 #[hot_path]
-fn scan_and_filter(
-    topo: &Topology,
-    entry: &RegionEntry,
+fn scan_and_filter<V: TopologyView + ?Sized>(
+    view: &V,
+    from_slot: usize,
     target: Point,
     dest_rect: &Region,
     scratch: &RouteScratch,
-) -> (u16, Option<RegionId>) {
+) -> (u32, Option<RegionId>) {
     let corners = [
         Point::new(dest_rect.x(), dest_rect.y()),
         Point::new(dest_rect.east(), dest_rect.y()),
@@ -558,12 +583,12 @@ fn scan_and_filter(
     ];
     let mut best_unvisited: Option<(f64, f64, RegionId)> = None;
     let mut min_ub = f64::INFINITY;
-    for &n in entry.neighbors() {
+    for &n in view.neighbors(from_slot) {
         let slot = n.index();
-        let rect = topo.slot_rect(slot);
+        let rect = view.slot_rect(slot);
         let key = (
             rect.distance_to_point(target),
-            topo.slot_center(slot).distance(target),
+            view.slot_center(slot).distance(target),
             n,
         );
         if !scratch.visited(slot) && best_unvisited.is_none_or(|b| key < b) {
@@ -578,8 +603,8 @@ fn scan_and_filter(
         min_ub = min_ub.min(ub);
     }
     let mut dominant = None;
-    for &n in entry.neighbors() {
-        if topo.slot_rect(n.index()).distance_to_region(dest_rect) <= min_ub {
+    for &n in view.neighbors(from_slot) {
+        if view.slot_rect(n.index()).distance_to_region(dest_rect) <= min_ub {
             if dominant.is_some() {
                 return (SLOT_SCAN, best_unvisited.map(|k| k.2));
             }
@@ -592,7 +617,7 @@ fn scan_and_filter(
                 (n.index()) < SLOT_SCAN as usize,
                 "slot collides with sentinel"
             );
-            n.as_u32() as u16
+            n.as_u32()
         }
         // No neighbors at all: nothing to dominate, nothing to cache.
         None => SLOT_SCAN,
@@ -605,9 +630,9 @@ fn scan_and_filter(
 /// closest-point distance, ascending by id, written into `out` without
 /// allocating.
 #[hot_path]
-fn candidates_into_filtered(
-    topo: &Topology,
-    entry: &RegionEntry,
+fn candidates_into_filtered<V: TopologyView + ?Sized>(
+    view: &V,
+    from_slot: usize,
     target: Point,
     visited: impl Fn(RegionId) -> bool,
     slack: f64,
@@ -616,11 +641,11 @@ fn candidates_into_filtered(
     out.clear();
     // Pass 1: best closest-point distance among unvisited neighbors.
     let mut best = f64::INFINITY;
-    for &n in entry.neighbors() {
+    for &n in view.neighbors(from_slot) {
         if visited(n) {
             continue;
         }
-        let d = topo.slot_rect(n.index()).distance_to_point(target);
+        let d = view.slot_rect(n.index()).distance_to_point(target);
         if d < best {
             best = d;
         }
@@ -630,11 +655,11 @@ fn candidates_into_filtered(
     }
     // Pass 2: keep everything within the tie window.
     let cutoff = best + slack * best.max(1e-9);
-    for &n in entry.neighbors() {
+    for &n in view.neighbors(from_slot) {
         if visited(n) {
             continue;
         }
-        if topo.slot_rect(n.index()).distance_to_point(target) <= cutoff {
+        if view.slot_rect(n.index()).distance_to_point(target) <= cutoff {
             out.push(n);
         }
     }
@@ -647,23 +672,23 @@ fn candidates_into_filtered(
 /// management messages): picking uniformly among near-optimal next hops
 /// spreads transit load over parallel paths instead of always burning the
 /// same corridor.
-pub fn next_hop_candidates(
-    topo: &Topology,
+pub fn next_hop_candidates<V: TopologyView + ?Sized>(
+    view: &V,
     current: RegionId,
     target: Point,
     visited: &HashSet<RegionId>,
     slack: f64,
 ) -> Vec<RegionId> {
     let mut out = Vec::new();
-    next_hop_candidates_into(topo, current, target, visited, slack, &mut out);
+    next_hop_candidates_into(view, current, target, visited, slack, &mut out);
     out
 }
 
 /// Allocation-free form of [`next_hop_candidates`]: one pass finds the
 /// best distance, a second filters the tie window into `out` (cleared
 /// first) — no intermediate `Vec` of `(id, distance)` pairs.
-pub fn next_hop_candidates_into(
-    topo: &Topology,
+pub fn next_hop_candidates_into<V: TopologyView + ?Sized>(
+    view: &V,
     current: RegionId,
     target: Point,
     visited: &HashSet<RegionId>,
@@ -671,45 +696,39 @@ pub fn next_hop_candidates_into(
     out: &mut Vec<RegionId>,
 ) {
     out.clear();
-    let Some(entry) = topo.region(current) else {
-        return;
-    };
-    if entry.covers(target, topo.space()) {
+    let slot = current.index();
+    if !view.is_live(slot) || view.covers(slot, target) {
         return;
     }
-    candidates_into_filtered(topo, entry, target, |n| visited.contains(&n), slack, out);
+    candidates_into_filtered(view, slot, target, |n| visited.contains(&n), slack, out);
 }
 
-/// Routes from `from` to the region covering `target` using the reusable
-/// `scratch` (see the [module docs](self)): no per-query allocation, and
-/// next hops toward recently routed destination cells come from the
-/// epoch-validated cache. Returns the executor; the hop trace is in
-/// [`RouteScratch::hops`].
+/// The greedy engine behind [`Router::route`] with
+/// [`RouteOptions::greedy`] (see the [module docs](self)): no per-query
+/// allocation, and next hops toward recently routed destination cells
+/// come from the epoch-validated cache. Returns the executor; the hop
+/// trace is in [`RouteScratch::hops`].
 ///
 /// Produces exactly the hops of [`route_uncached`] for every input.
-///
-/// # Errors
-///
-/// Same conditions as [`route`].
 #[hot_path]
-pub fn route_into(
-    topo: &Topology,
+pub(crate) fn greedy_into<V: TopologyView + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
     scratch: &mut RouteScratch,
 ) -> Result<RegionId, CoreError> {
-    if !topo.space().covers(target) {
+    if !view.space().covers(target) {
         return Err(CoreError::OutOfSpace {
             x: target.x,
             y: target.y,
         });
     }
-    if topo.region(from).is_none() {
+    if !view.is_live(from.index()) {
         return Err(CoreError::UnknownRegion(from));
     }
-    scratch.begin(topo);
-    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
-    let slots = topo.slot_count();
+    scratch.begin(view);
+    let budget = 8 * (view.region_count() as f64).sqrt() as usize + 64;
+    let slots = view.slot_count();
     let cacheable = slots < ROUTE_CACHE_MAX_SLOTS;
     // L1: a destination seen before by its exact coordinates gets a slab
     // of memoized argmins — no geometry proof needed, the key is exact.
@@ -727,8 +746,8 @@ pub fn route_into(
     let l2: Option<(Region, usize)> = if !cacheable || l1.is_some() {
         None
     } else {
-        let dest_cell = topo.grid_cell_of(target) as usize;
-        topo.grid_cell_rect(dest_cell as u32)
+        let dest_cell = view.grid_cell_of(target) as usize;
+        view.grid_cell_rect(dest_cell as u32)
             .filter(|r| r.contains_closed(target))
             .and_then(|rect| {
                 scratch
@@ -738,7 +757,24 @@ pub fn route_into(
     };
     scratch.hops.push(from);
     scratch.visit(from.index());
-    greedy_loop(topo, from, target, scratch, l1, l2, budget, 0)
+    greedy_loop(view, from, target, scratch, l1, l2, budget, 0)
+}
+
+/// Routes from `from` to the region covering `target` using the reusable
+/// `scratch`. Deprecated thin wrapper over the same engine
+/// [`Router::route`] drives with [`RouteOptions::greedy`].
+///
+/// # Errors
+///
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route with RouteOptions::greedy()")]
+pub fn route_into<V: TopologyView + ?Sized>(
+    view: &V,
+    from: RegionId,
+    target: Point,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    greedy_into(view, from, target, scratch)
 }
 
 /// The greedy mesh walk shared by [`route_into`] (whole route, `base` 0)
@@ -750,8 +786,8 @@ pub fn route_into(
 /// [`route_uncached`] would build starting there.
 #[hot_path]
 #[allow(clippy::too_many_arguments)]
-fn greedy_loop(
-    topo: &Topology,
+fn greedy_loop<V: TopologyView + ?Sized>(
+    view: &V,
     mut current: RegionId,
     target: Point,
     scratch: &mut RouteScratch,
@@ -762,28 +798,25 @@ fn greedy_loop(
 ) -> Result<RegionId, CoreError> {
     loop {
         let slot = current.index();
+        if !view.is_live(slot) {
+            return Err(CoreError::UnknownRegion(current));
+        }
         // Termination. The region covering `target` is unique and stable
         // within an epoch, so on the L1 path its slot is memoized and the
-        // per-hop region-table load + rectangle test collapse into one
-        // integer compare.
+        // per-hop rectangle test collapses into one integer compare.
         let covered = if let Some(slab) = l1 {
             match scratch.cache.target_terminals[slab] {
                 SLOT_EMPTY => {
-                    let entry = topo
-                        .region(current)
-                        .ok_or(CoreError::UnknownRegion(current))?;
-                    let covered = entry.covers(target, topo.space());
+                    let covered = view.covers(slot, target);
                     if covered {
-                        scratch.cache.target_terminals[slab] = slot as u16;
+                        scratch.cache.target_terminals[slab] = slot as u32;
                     }
                     covered
                 }
                 term => term as usize == slot,
             }
         } else {
-            topo.region(current)
-                .ok_or(CoreError::UnknownRegion(current))?
-                .covers(target, topo.space())
+            view.covers(slot, target)
         };
         if covered {
             return Ok(current);
@@ -791,7 +824,7 @@ fn greedy_loop(
         if scratch.hops.len() - base > budget {
             // Degenerate topology (should not happen on a valid partition):
             // answer via the spatial index so callers still make progress.
-            let executor = topo.locate(target)?;
+            let executor = view.locate(target)?;
             scratch.hops.push(executor);
             return Ok(executor);
         }
@@ -800,62 +833,41 @@ fn greedy_loop(
         // target of the cell in L2); when it is unvisited it is also the
         // minimum over unvisited neighbors, so following it is exactly
         // what the uncached scan would do. A visited one falls back to
-        // the full unvisited scan, again matching the reference. The
-        // slow arms re-fetch the region entry themselves so the hot arm
-        // never touches the region table.
+        // the full unvisited scan, again matching the reference.
         let next = if let Some(slab) = l1 {
             scratch.lookups += 1;
             match scratch.cache.target_slabs[slab][slot] {
                 SLOT_EMPTY => {
-                    let entry = topo
-                        .region(current)
-                        .ok_or(CoreError::UnknownRegion(current))?;
-                    let (best_all, best_unvisited) = scan_next_hop(topo, entry, target, scratch);
+                    let (best_all, best_unvisited) = scan_next_hop(view, slot, target, scratch);
                     scratch.cache.target_slabs[slab][slot] =
-                        best_all.map_or(SLOT_SCAN, |r| r.as_u32() as u16);
+                        best_all.map_or(SLOT_SCAN, |r| r.as_u32());
                     scratch.cache.entries += 1;
                     best_unvisited
                 }
                 raw if raw < SLOT_SCAN && !scratch.visited(raw as usize) => {
                     scratch.hits += 1;
-                    Some(RegionId::new(raw as u32))
+                    Some(RegionId::new(raw))
                 }
-                _ => {
-                    let entry = topo
-                        .region(current)
-                        .ok_or(CoreError::UnknownRegion(current))?;
-                    scan_next_hop(topo, entry, target, scratch).1
-                }
+                _ => scan_next_hop(view, slot, target, scratch).1,
             }
         } else if let Some((dest_rect, slab)) = l2 {
             scratch.lookups += 1;
             match scratch.cache.cell_slabs[slab][slot] {
                 SLOT_EMPTY => {
-                    let entry = topo
-                        .region(current)
-                        .ok_or(CoreError::UnknownRegion(current))?;
                     let (value, best_unvisited) =
-                        scan_and_filter(topo, entry, target, &dest_rect, scratch);
+                        scan_and_filter(view, slot, target, &dest_rect, scratch);
                     scratch.cache.cell_slabs[slab][slot] = value;
                     scratch.cache.entries += 1;
                     best_unvisited
                 }
                 raw if raw < SLOT_SCAN && !scratch.visited(raw as usize) => {
                     scratch.hits += 1;
-                    Some(RegionId::new(raw as u32))
+                    Some(RegionId::new(raw))
                 }
-                _ => {
-                    let entry = topo
-                        .region(current)
-                        .ok_or(CoreError::UnknownRegion(current))?;
-                    scan_next_hop(topo, entry, target, scratch).1
-                }
+                _ => scan_next_hop(view, slot, target, scratch).1,
             }
         } else {
-            let entry = topo
-                .region(current)
-                .ok_or(CoreError::UnknownRegion(current))?;
-            scan_next_hop(topo, entry, target, scratch).1
+            scan_next_hop(view, slot, target, scratch).1
         };
         match next {
             Some(next) => {
@@ -864,7 +876,7 @@ fn greedy_loop(
                 current = next;
             }
             None => {
-                let executor = topo.locate(target)?;
+                let executor = view.locate(target)?;
                 scratch.hops.push(executor);
                 return Ok(executor);
             }
@@ -886,14 +898,14 @@ fn greedy_loop(
 /// Deterministic in the geometry alone (no visited state), which is what
 /// makes the per-destination `target_express` cache sound.
 #[hot_path]
-fn express_choice(
-    topo: &Topology,
+fn express_choice<V: TopologyView + ?Sized>(
+    view: &V,
     current: RegionId,
     target: Point,
     floor: f64,
 ) -> Option<RegionId> {
     let slot = current.index();
-    let rect = topo.slot_rect(slot);
+    let rect = view.slot_rect(slot);
     let d = rect.distance_to_point(target);
     // Hand off inside the near field: below the global finger floor, or
     // within a few diameters of the current region (where greedy needs
@@ -903,18 +915,18 @@ fn express_choice(
     }
     let cutoff = EXPRESS_DECAY * d;
     let mut best: Option<(f64, f64, RegionId)> = None;
-    for &raw in &topo.slot_fingers(slot).ids()[..FINGER_COUNT] {
+    for &raw in &view.slot_fingers(slot).ids()[..FINGER_COUNT] {
         if raw == FINGER_NONE {
             continue;
         }
         let fslot = raw as usize;
-        let rect_d = topo.slot_rect(fslot).distance_to_point(target);
+        let rect_d = view.slot_rect(fslot).distance_to_point(target);
         if rect_d > cutoff {
             continue;
         }
         let key = (
             rect_d,
-            topo.slot_center(fslot).distance(target),
+            view.slot_center(fslot).distance(target),
             RegionId::new(raw),
         );
         if best.is_none_or(|b| key < b) {
@@ -922,14 +934,11 @@ fn express_choice(
         }
     }
     let best = best?;
-    let entry = topo
-        .region(current)
-        .expect("invariant: express routing only stands on live regions");
     let mut best_neighbor: Option<(f64, f64, RegionId)> = None;
-    for &n in entry.neighbors() {
+    for &n in view.neighbors(slot) {
         let key = (
-            topo.slot_rect(n.index()).distance_to_point(target),
-            topo.slot_center(n.index()).distance(target),
+            view.slot_rect(n.index()).distance_to_point(target),
+            view.slot_center(n.index()).distance(target),
             n,
         );
         if best_neighbor.is_none_or(|b| key < b) {
@@ -950,30 +959,26 @@ fn express_choice(
 /// what [`route_uncached`] walks from the handoff region.
 ///
 /// On networks too coarse for any finger to qualify the express phase
-/// takes zero hops and this is exactly [`route_into`].
-///
-/// # Errors
-///
-/// Same conditions as [`route`].
+/// takes zero hops and this is exactly [`greedy_into`].
 #[hot_path]
-pub fn route_express_into(
-    topo: &Topology,
+pub(crate) fn express_into<V: TopologyView + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
     scratch: &mut RouteScratch,
 ) -> Result<RegionId, CoreError> {
-    if !topo.space().covers(target) {
+    if !view.space().covers(target) {
         return Err(CoreError::OutOfSpace {
             x: target.x,
             y: target.y,
         });
     }
-    if topo.region(from).is_none() {
+    if !view.is_live(from.index()) {
         return Err(CoreError::UnknownRegion(from));
     }
-    scratch.begin(topo);
-    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
-    let slots = topo.slot_count();
+    scratch.begin(view);
+    let budget = 8 * (view.region_count() as f64).sqrt() as usize + 64;
+    let slots = view.slot_count();
     let cacheable = slots < ROUTE_CACHE_MAX_SLOTS;
     let l1 = if cacheable {
         scratch
@@ -985,8 +990,8 @@ pub fn route_express_into(
     let l2: Option<(Region, usize)> = if !cacheable || l1.is_some() {
         None
     } else {
-        let dest_cell = topo.grid_cell_of(target) as usize;
-        topo.grid_cell_rect(dest_cell as u32)
+        let dest_cell = view.grid_cell_of(target) as usize;
+        view.grid_cell_rect(dest_cell as u32)
             .filter(|r| r.contains_closed(target))
             .and_then(|rect| {
                 scratch
@@ -994,7 +999,7 @@ pub fn route_express_into(
                     .map(|slab| (rect, slab))
             })
     };
-    let floor = topo.finger_base();
+    let floor = view.finger_base();
     let mut current = from;
     scratch.hops.push(from);
     // Phase 1: express descent. Hops are recorded but NOT marked visited —
@@ -1007,20 +1012,20 @@ pub fn route_express_into(
             scratch.lookups += 1;
             match scratch.cache.target_express[slab][current.index()] {
                 SLOT_EMPTY => {
-                    let choice = express_choice(topo, current, target, floor);
+                    let choice = express_choice(view, current, target, floor);
                     scratch.cache.target_express[slab][current.index()] =
-                        choice.map_or(SLOT_SCAN, |r| r.as_u32() as u16);
+                        choice.map_or(SLOT_SCAN, |r| r.as_u32());
                     scratch.cache.entries += 1;
                     choice
                 }
                 SLOT_SCAN => None,
                 raw => {
                     scratch.hits += 1;
-                    Some(RegionId::new(raw as u32))
+                    Some(RegionId::new(raw))
                 }
             }
         } else {
-            express_choice(topo, current, target, floor)
+            express_choice(view, current, target, floor)
         };
         match next {
             Some(next) => {
@@ -1034,22 +1039,40 @@ pub fn route_express_into(
     scratch.express_len = express_hops;
     // Phase 2: the unmodified greedy engine finishes the last mile.
     scratch.visit(current.index());
-    greedy_loop(topo, current, target, scratch, l1, l2, budget, express_hops)
+    greedy_loop(view, current, target, scratch, l1, l2, budget, express_hops)
 }
 
-/// Thin wrapper over [`route_express_into`] with the thread-local scratch
-/// — the two-phase counterpart of [`route`].
+/// Two-phase express route into a caller-held scratch. Deprecated thin
+/// wrapper over the engine [`Router::route`] drives with
+/// [`RouteOptions::express`].
 ///
 /// # Errors
 ///
-/// Same conditions as [`route`].
-pub fn route_express(
-    topo: &Topology,
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route with RouteOptions::express()")]
+pub fn route_express_into<V: TopologyView + ?Sized>(
+    view: &V,
+    from: RegionId,
+    target: Point,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    express_into(view, from, target, scratch)
+}
+
+/// Two-phase express route with the thread-local scratch. Deprecated thin
+/// wrapper; use [`Router::route`] with [`RouteOptions::express`].
+///
+/// # Errors
+///
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route with RouteOptions::express()")]
+pub fn route_express<V: TopologyView + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
 ) -> Result<RoutePath, CoreError> {
     with_thread_scratch(|scratch| {
-        let executor = route_express_into(topo, from, target, scratch)?;
+        let executor = express_into(view, from, target, scratch)?;
         Ok(RoutePath {
             executor,
             hops: scratch.hops.clone(),
@@ -1062,58 +1085,55 @@ pub fn route_express(
 /// scratch buffers but never consults the next-hop cache — the point of
 /// randomization is to *not* repeat the previous choice.
 ///
-/// Produces exactly the hops of [`route_randomized`] for the same RNG
-/// state.
-///
-/// # Errors
-///
-/// Same conditions as [`route`].
+/// Produces exactly the same hops for the same RNG state regardless of
+/// which wrapper drives it.
 #[hot_path]
-pub fn route_randomized_into<R: rand::Rng + ?Sized>(
-    topo: &Topology,
+pub(crate) fn randomized_into<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
     slack: f64,
     rng: &mut R,
     scratch: &mut RouteScratch,
 ) -> Result<RegionId, CoreError> {
-    if !topo.space().covers(target) {
+    if !view.space().covers(target) {
         return Err(CoreError::OutOfSpace {
             x: target.x,
             y: target.y,
         });
     }
-    if topo.region(from).is_none() {
+    if !view.is_live(from.index()) {
         return Err(CoreError::UnknownRegion(from));
     }
-    scratch.begin(topo);
-    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    scratch.begin(view);
+    let budget = 8 * (view.region_count() as f64).sqrt() as usize + 64;
     let mut current = from;
     scratch.hops.push(from);
     scratch.visit(from.index());
     loop {
-        let entry = topo
-            .region(current)
-            .ok_or(CoreError::UnknownRegion(current))?;
-        if entry.covers(target, topo.space()) {
+        let slot = current.index();
+        if !view.is_live(slot) {
+            return Err(CoreError::UnknownRegion(current));
+        }
+        if view.covers(slot, target) {
             return Ok(current);
         }
         if scratch.hops.len() > budget {
-            let executor = topo.locate(target)?;
+            let executor = view.locate(target)?;
             scratch.hops.push(executor);
             return Ok(executor);
         }
         let mut cand = std::mem::take(&mut scratch.cand);
         candidates_into_filtered(
-            topo,
-            entry,
+            view,
+            slot,
             target,
             |n| scratch.visited(n.index()),
             slack,
             &mut cand,
         );
         let next = if cand.is_empty() {
-            scan_next_hop(topo, entry, target, scratch).1
+            scan_next_hop(view, slot, target, scratch).1
         } else {
             Some(cand[rng.random_range(0..cand.len())])
         };
@@ -1125,12 +1145,31 @@ pub fn route_randomized_into<R: rand::Rng + ?Sized>(
                 current = next;
             }
             None => {
-                let executor = topo.locate(target)?;
+                let executor = view.locate(target)?;
                 scratch.hops.push(executor);
                 return Ok(executor);
             }
         }
     }
+}
+
+/// Randomized route into a caller-held scratch. Deprecated thin wrapper
+/// over the engine [`Router::route_with_rng`] drives with
+/// [`RouteOptions::randomized`].
+///
+/// # Errors
+///
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route_with_rng with RouteOptions::randomized(slack)")]
+pub fn route_randomized_into<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
+    view: &V,
+    from: RegionId,
+    target: Point,
+    slack: f64,
+    rng: &mut R,
+    scratch: &mut RouteScratch,
+) -> Result<RegionId, CoreError> {
+    randomized_into(view, from, target, slack, rng, scratch)
 }
 
 thread_local! {
@@ -1148,25 +1187,233 @@ pub(crate) fn with_thread_scratch<T>(f: impl FnOnce(&mut RouteScratch) -> T) -> 
     })
 }
 
-/// Routes from `from` to the region covering `target`, greedily.
+/// Which forwarding engine a [`Router`] query uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RouteEngine {
+    /// The paper's greedy mesh walk (§2.2): `O(√N)` hops, hop-for-hop
+    /// identical to [`route_uncached`].
+    #[default]
+    Greedy,
+    /// Two-phase express route: finger descent (`O(log N)` hops), then
+    /// the greedy walk for the last mile.
+    Express,
+}
+
+/// Per-query options for [`Router::route`]: which engine forwards, and
+/// whether next hops are randomized over the near-optimal tie window.
 ///
-/// Greedy forwarding over a rectangular tiling makes monotone progress in
-/// almost all configurations; the corner cases (corner-contact ties) are
-/// handled by tracking visited regions. If the hop budget
-/// (`8√N + 64`) is exhausted the search falls back to the spatial-index
-/// ground truth and reports the path walked so far plus the answer.
+/// `RouteOptions::default()` is the plain greedy walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RouteOptions {
+    /// The forwarding engine ([`RouteEngine::Greedy`] by default).
+    pub engine: RouteEngine,
+    /// `Some(slack)` picks uniformly at random among the next hops within
+    /// the `slack`-relative tie window of the best (the paper's
+    /// *randomization of routing entries*, spreading transit load over
+    /// parallel corridors). Randomization always runs the greedy walk —
+    /// `engine` is ignored when this is set — and never consults the
+    /// next-hop cache: the point is to *not* repeat the previous choice.
+    pub randomize: Option<f64>,
+}
+
+impl RouteOptions {
+    /// Plain greedy forwarding (the default).
+    pub fn greedy() -> Self {
+        Self::default()
+    }
+
+    /// Two-phase express forwarding over the topology's finger links.
+    pub fn express() -> Self {
+        Self {
+            engine: RouteEngine::Express,
+            randomize: None,
+        }
+    }
+
+    /// Greedy forwarding randomized over the `slack`-relative tie window.
+    pub fn randomized(slack: f64) -> Self {
+        Self {
+            engine: RouteEngine::Greedy,
+            randomize: Some(slack),
+        }
+    }
+}
+
+/// The routing facade: one reusable object bundling the zero-allocation
+/// [`RouteScratch`] (visited stamps, hop buffer, epoch-validated next-hop
+/// cache) with an RNG for randomized queries, dispatching on
+/// [`RouteOptions`].
 ///
-/// Thin wrapper over [`route_into`] with a thread-local scratch; batch
-/// callers should hold their own [`RouteScratch`].
+/// A `Router` works on any [`TopologyView`]: pass `&Topology` on the
+/// single-threaded path or `&TopologySnapshot` when routing concurrently
+/// against a published snapshot (one `Router` per reader thread — the
+/// scratch is the per-thread state, the snapshot the shared immutable
+/// one). The cache re-keys itself on `(instance_id, epoch)`, so a router
+/// may be reused freely across views, epochs, and instances.
+///
+/// ```
+/// use geogrid_core::routing::{RouteOptions, Router};
+/// use geogrid_core::Topology;
+/// use geogrid_geometry::{Point, Space};
+///
+/// let mut t = Topology::new(Space::paper_evaluation());
+/// let n = t.register_node(Point::new(1.0, 1.0), 10.0);
+/// t.bootstrap(n).unwrap();
+///
+/// let mut router = Router::new();
+/// let from = t.first_region().unwrap();
+/// let executor = router
+///     .route(&t, from, Point::new(12.0, 51.0), &RouteOptions::greedy())
+///     .unwrap();
+/// assert_eq!(router.hops().last(), Some(&executor));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Router {
+    scratch: RouteScratch,
+    rng: rand::rngs::SmallRng,
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// A fresh router with an empty cache and a fixed default RNG seed
+    /// (use [`Self::with_seed`] or [`Self::route_with_rng`] when the
+    /// randomized-tie stream must be controlled).
+    pub fn new() -> Self {
+        Self::with_seed(0x6765_6f67_7269_6421)
+    }
+
+    /// A fresh router whose randomized queries draw from a
+    /// deterministically seeded RNG.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            scratch: RouteScratch::new(),
+            rng: rand::rngs::SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Routes from `from` to the region covering `target` on `view`,
+    /// dispatching on `options`. Returns the executor region; the hop
+    /// trace is in [`Self::hops`] (or [`Self::path`] for an owned copy).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::OutOfSpace`] if `target` lies outside the space.
+    /// * [`CoreError::UnknownRegion`] if `from` is dead.
+    /// * [`CoreError::EmptyNetwork`] if the network has no regions.
+    pub fn route<V: TopologyView + ?Sized>(
+        &mut self,
+        view: &V,
+        from: RegionId,
+        target: Point,
+        options: &RouteOptions,
+    ) -> Result<RegionId, CoreError> {
+        if let Some(slack) = options.randomize {
+            return randomized_into(view, from, target, slack, &mut self.rng, &mut self.scratch);
+        }
+        match options.engine {
+            RouteEngine::Greedy => greedy_into(view, from, target, &mut self.scratch),
+            RouteEngine::Express => express_into(view, from, target, &mut self.scratch),
+        }
+    }
+
+    /// Like [`Self::route`], but randomized queries draw from the
+    /// caller's `rng` instead of the router's own — for experiment
+    /// harnesses that must reproduce an exact historical random stream.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::route`].
+    pub fn route_with_rng<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
+        &mut self,
+        view: &V,
+        from: RegionId,
+        target: Point,
+        options: &RouteOptions,
+        rng: &mut R,
+    ) -> Result<RegionId, CoreError> {
+        if let Some(slack) = options.randomize {
+            return randomized_into(view, from, target, slack, rng, &mut self.scratch);
+        }
+        match options.engine {
+            RouteEngine::Greedy => greedy_into(view, from, target, &mut self.scratch),
+            RouteEngine::Express => express_into(view, from, target, &mut self.scratch),
+        }
+    }
+
+    /// The hop trace of the most recent successful route: starts at the
+    /// source, ends at the executor.
+    pub fn hops(&self) -> &[RegionId] {
+        self.scratch.hops()
+    }
+
+    /// Hop count of the most recent successful route.
+    pub fn hop_count(&self) -> usize {
+        self.scratch.hop_count()
+    }
+
+    /// An owned [`RoutePath`] of the most recent successful route, or
+    /// `None` if no route has completed yet.
+    pub fn path(&self) -> Option<RoutePath> {
+        self.scratch.hops().last().map(|&executor| RoutePath {
+            executor,
+            hops: self.scratch.hops().to_vec(),
+        })
+    }
+
+    /// Index of the express→greedy handoff in [`Self::hops`] (see
+    /// [`RouteScratch::express_prefix`]).
+    pub fn express_prefix(&self) -> usize {
+        self.scratch.express_prefix()
+    }
+
+    /// Derived next-hop entries across all promoted destinations.
+    pub fn cached_entries(&self) -> usize {
+        self.scratch.cached_entries()
+    }
+
+    /// Fraction of next-hop decisions served from the cache since the
+    /// last [`Self::reset_stats`].
+    pub fn hit_rate(&self) -> f64 {
+        self.scratch.hit_rate()
+    }
+
+    /// Clears the hit/lookup counters (not the cache).
+    pub fn reset_stats(&mut self) {
+        self.scratch.reset_stats();
+    }
+
+    /// Drops every cached next hop (stats and buffers survive).
+    pub fn clear_cache(&mut self) {
+        self.scratch.clear_cache();
+    }
+
+    /// The underlying scratch, for callers migrating incrementally from
+    /// the free-function API.
+    pub fn scratch_mut(&mut self) -> &mut RouteScratch {
+        &mut self.scratch
+    }
+}
+
+/// Routes from `from` to the region covering `target`, greedily, with the
+/// thread-local scratch. Deprecated thin wrapper; use [`Router::route`]
+/// with [`RouteOptions::greedy`].
 ///
 /// # Errors
 ///
-/// * [`CoreError::OutOfSpace`] if `target` lies outside the space.
-/// * [`CoreError::UnknownRegion`] if `from` is dead.
-/// * [`CoreError::EmptyNetwork`] if the network has no regions.
-pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath, CoreError> {
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route with RouteOptions::greedy()")]
+pub fn route<V: TopologyView + ?Sized>(
+    view: &V,
+    from: RegionId,
+    target: Point,
+) -> Result<RoutePath, CoreError> {
     with_thread_scratch(|scratch| {
-        let executor = route_into(topo, from, target, scratch)?;
+        let executor = greedy_into(view, from, target, scratch)?;
         Ok(RoutePath {
             executor,
             hops: scratch.hops.clone(),
@@ -1174,25 +1421,23 @@ pub fn route(topo: &Topology, from: RegionId, target: Point) -> Result<RoutePath
     })
 }
 
-/// Like [`route`], but at each step picks uniformly at random among the
-/// near-optimal next hops (`slack`-relative tie window). Trades a few
-/// extra hops for spreading routing workload across parallel corridors.
-///
-/// Thin wrapper over [`route_randomized_into`] with a thread-local
-/// scratch.
+/// Randomized route with the thread-local scratch. Deprecated thin
+/// wrapper; use [`Router::route_with_rng`] with
+/// [`RouteOptions::randomized`].
 ///
 /// # Errors
 ///
-/// Same conditions as [`route`].
-pub fn route_randomized<R: rand::Rng + ?Sized>(
-    topo: &Topology,
+/// Same conditions as [`Router::route`].
+#[deprecated(note = "use Router::route_with_rng with RouteOptions::randomized(slack)")]
+pub fn route_randomized<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
     slack: f64,
     rng: &mut R,
 ) -> Result<RoutePath, CoreError> {
     with_thread_scratch(|scratch| {
-        let executor = route_randomized_into(topo, from, target, slack, rng, scratch)?;
+        let executor = randomized_into(view, from, target, slack, rng, scratch)?;
         Ok(RoutePath {
             executor,
             hops: scratch.hops.clone(),
@@ -1202,55 +1447,57 @@ pub fn route_randomized<R: rand::Rng + ?Sized>(
 
 /// The original allocating implementation — per-query `HashSet` and
 /// `Vec`s, no scratch, no cache. Kept as the reference the cached engine
-/// is verified against (the cache-consistency property test asserts
-/// [`route_into`] matches this hop for hop) and as the *cold* baseline in
-/// benchmarks.
+/// is verified against (the cache-consistency property test asserts the
+/// [`Router`] facade matches this hop for hop) and as the *cold* baseline
+/// in benchmarks. Works on any [`TopologyView`], so the concurrency
+/// stress test can run it against the very snapshot a reader routed on.
 ///
 /// # Errors
 ///
-/// Same conditions as [`route`].
-pub fn route_uncached(
-    topo: &Topology,
+/// Same conditions as [`Router::route`].
+pub fn route_uncached<V: TopologyView + ?Sized>(
+    view: &V,
     from: RegionId,
     target: Point,
 ) -> Result<RoutePath, CoreError> {
-    if !topo.space().covers(target) {
+    if !view.space().covers(target) {
         return Err(CoreError::OutOfSpace {
             x: target.x,
             y: target.y,
         });
     }
-    if topo.region(from).is_none() {
+    if !view.is_live(from.index()) {
         return Err(CoreError::UnknownRegion(from));
     }
-    let budget = 8 * (topo.region_count() as f64).sqrt() as usize + 64;
+    let budget = 8 * (view.region_count() as f64).sqrt() as usize + 64;
     let mut visited = HashSet::new();
     let mut hops = vec![from];
     let mut current = from;
     visited.insert(from);
     loop {
-        let entry = topo
-            .region(current)
-            .ok_or(CoreError::UnknownRegion(current))?;
-        if entry.covers(target, topo.space()) {
+        let slot = current.index();
+        if !view.is_live(slot) {
+            return Err(CoreError::UnknownRegion(current));
+        }
+        if view.covers(slot, target) {
             return Ok(RoutePath {
                 executor: current,
                 hops,
             });
         }
         if hops.len() > budget {
-            let executor = topo.locate(target)?;
+            let executor = view.locate(target)?;
             hops.push(executor);
             return Ok(RoutePath { executor, hops });
         }
-        match next_hop(topo, current, target, &visited) {
+        match next_hop(view, current, target, &visited) {
             Some(next) => {
                 visited.insert(next);
                 hops.push(next);
                 current = next;
             }
             None => {
-                let executor = topo.locate(target)?;
+                let executor = view.locate(target)?;
                 hops.push(executor);
                 return Ok(RoutePath { executor, hops });
             }
@@ -1265,21 +1512,25 @@ pub fn route_uncached(
 /// intersect the query rectangle; the flood generalizes that to rectangles
 /// wider than one neighborhood while visiting only overlapping regions.
 /// The executor itself is always included (first).
-pub fn fanout(topo: &Topology, executor: RegionId, query: &Region) -> Vec<RegionId> {
+pub fn fanout<V: TopologyView + ?Sized>(
+    view: &V,
+    executor: RegionId,
+    query: &Region,
+) -> Vec<RegionId> {
     let mut out = Vec::new();
     let mut seen = HashSet::new();
     let mut frontier = vec![executor];
     seen.insert(executor);
     while let Some(rid) = frontier.pop() {
-        let Some(entry) = topo.region(rid) else {
+        if !view.is_live(rid.index()) {
             continue;
-        };
+        }
         out.push(rid);
-        for &n in entry.neighbors() {
+        for &n in view.neighbors(rid.index()) {
             if seen.contains(&n) {
                 continue;
             }
-            let overlaps = topo.region(n).is_some_and(|e| e.region().intersects(query));
+            let overlaps = view.is_live(n.index()) && view.slot_rect(n.index()).intersects(query);
             if overlaps {
                 seen.insert(n);
                 frontier.push(n);
@@ -1292,6 +1543,7 @@ pub fn fanout(topo: &Topology, executor: RegionId, query: &Region) -> Vec<Region
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Topology;
     use geogrid_geometry::Space;
 
     /// Builds a 2^k-region topology by repeated joins at grid points.
@@ -1321,17 +1573,23 @@ mod tests {
     fn route_reaches_covering_region() {
         let t = grid_topology(6); // 64 regions
         let from = t.first_region().unwrap();
+        let mut router = Router::new();
         for target in [
             Point::new(0.5, 0.5),
             Point::new(63.5, 63.5),
             Point::new(32.0, 1.0),
             Point::new(5.0, 60.0),
         ] {
-            let path = route(&t, from, target).expect("route");
-            assert!(t.region(path.executor).unwrap().covers(target, t.space()));
-            assert_eq!(path.executor, t.locate_scan(target).unwrap());
-            assert_eq!(*path.hops.first().unwrap(), from);
-            assert_eq!(*path.hops.last().unwrap(), path.executor);
+            let executor = router
+                .route(&t, from, target, &RouteOptions::greedy())
+                .expect("route");
+            assert!(t.region(executor).unwrap().covers(target, t.space()));
+            assert_eq!(executor, t.locate_scan(target).unwrap());
+            assert_eq!(*router.hops().first().unwrap(), from);
+            assert_eq!(*router.hops().last().unwrap(), executor);
+            let path = router.path().expect("a route just completed");
+            assert_eq!(path.executor, executor);
+            assert_eq!(&path.hops[..], router.hops());
         }
     }
 
@@ -1340,17 +1598,21 @@ mod tests {
         let t = grid_topology(4);
         let from = t.first_region().unwrap();
         let inside = t.region(from).unwrap().region().center();
-        let path = route(&t, from, inside).unwrap();
-        assert_eq!(path.hop_count(), 0);
-        assert_eq!(path.executor, from);
+        let mut router = Router::new();
+        let executor = router
+            .route(&t, from, inside, &RouteOptions::greedy())
+            .unwrap();
+        assert_eq!(router.hop_count(), 0);
+        assert_eq!(executor, from);
     }
 
     #[test]
     fn route_rejects_out_of_space() {
         let t = grid_topology(2);
         let from = t.first_region().unwrap();
+        let mut router = Router::new();
         assert!(matches!(
-            route(&t, from, Point::new(100.0, 0.0)),
+            router.route(&t, from, Point::new(100.0, 0.0), &RouteOptions::greedy()),
             Err(CoreError::OutOfSpace { .. })
         ));
     }
@@ -1363,6 +1625,7 @@ mod tests {
         let t_big = grid_topology(8); // 256
         let mean_hops = |t: &Topology| {
             let ids: Vec<RegionId> = t.region_ids().collect();
+            let mut router = Router::new();
             let mut total = 0usize;
             let mut count = 0usize;
             for (i, &from) in ids.iter().enumerate() {
@@ -1371,7 +1634,10 @@ mod tests {
                     .unwrap()
                     .region()
                     .center();
-                total += route(t, from, target).unwrap().hop_count();
+                router
+                    .route(t, from, target, &RouteOptions::greedy())
+                    .unwrap();
+                total += router.hop_count();
                 count += 1;
             }
             total as f64 / count as f64
@@ -1410,16 +1676,16 @@ mod tests {
 
     #[test]
     fn randomized_routing_reaches_cover_and_spreads_paths() {
-        use rand::SeedableRng;
         let t = grid_topology(6);
         let from = t.first_region().unwrap();
         let target = Point::new(60.0, 60.0);
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut router = Router::with_seed(3);
+        let opts = RouteOptions::randomized(0.25);
         let mut distinct_paths = std::collections::HashSet::new();
         for _ in 0..20 {
-            let path = route_randomized(&t, from, target, 0.25, &mut rng).unwrap();
-            assert!(t.region(path.executor).unwrap().covers(target, t.space()));
-            distinct_paths.insert(path.hops.clone());
+            let executor = router.route(&t, from, target, &opts).unwrap();
+            assert!(t.region(executor).unwrap().covers(target, t.space()));
+            distinct_paths.insert(router.hops().to_vec());
         }
         // Randomization should explore more than one corridor.
         assert!(
@@ -1427,7 +1693,10 @@ mod tests {
             "randomized routing always took the same path"
         );
         // And stay within the hop budget's ballpark of the greedy route.
-        let greedy = route(&t, from, target).unwrap().hop_count();
+        router
+            .route(&t, from, target, &RouteOptions::greedy())
+            .unwrap();
+        let greedy = router.hop_count();
         for p in &distinct_paths {
             assert!(p.len() - 1 <= greedy * 3 + 8);
         }
@@ -1464,7 +1733,7 @@ mod tests {
     fn cached_engine_matches_uncached_reference_on_all_pairs() {
         let t = grid_topology(6);
         let ids: Vec<RegionId> = t.region_ids().collect();
-        let mut scratch = RouteScratch::new();
+        let mut router = Router::new();
         // Twice over every (from, target) pair: the second round runs with
         // a warm cache and must still agree hop for hop.
         for _round in 0..2 {
@@ -1472,13 +1741,15 @@ mod tests {
                 for &to in &ids {
                     let target = t.region(to).unwrap().region().center();
                     let reference = route_uncached(&t, from, target).unwrap();
-                    let executor = route_into(&t, from, target, &mut scratch).unwrap();
+                    let executor = router
+                        .route(&t, from, target, &RouteOptions::greedy())
+                        .unwrap();
                     assert_eq!(executor, reference.executor);
-                    assert_eq!(scratch.hops(), &reference.hops[..]);
+                    assert_eq!(router.hops(), &reference.hops[..]);
                 }
             }
         }
-        assert!(scratch.hit_rate() > 0.0, "warm round never hit the cache");
+        assert!(router.hit_rate() > 0.0, "warm round never hit the cache");
     }
 
     #[test]
@@ -1487,33 +1758,35 @@ mod tests {
         let ids: Vec<RegionId> = t.region_ids().collect();
         let (from, to) = (ids[0], ids[ids.len() - 1]);
         let target = t.region(to).unwrap().region().center();
-        let mut scratch = RouteScratch::new();
+        let mut router = Router::new();
+        let opts = RouteOptions::greedy();
         // Twice: the second sighting promotes the exact target to its L1
         // slab and derives every entry along the (identical) path.
-        route_into(&t, from, target, &mut scratch).unwrap();
-        route_into(&t, from, target, &mut scratch).unwrap();
-        let warm = scratch.cached_entries();
+        router.route(&t, from, target, &opts).unwrap();
+        router.route(&t, from, target, &opts).unwrap();
+        let warm = router.cached_entries();
         assert!(warm > 0);
         // Ownership-only churn keeps the cache.
         t.swap_primaries(from, to).unwrap();
-        route_into(&t, from, target, &mut scratch).unwrap();
-        assert_eq!(scratch.cached_entries(), warm);
+        router.route(&t, from, target, &opts).unwrap();
+        assert_eq!(router.cached_entries(), warm);
         // A split flushes it (epoch bump) and routing stays correct.
         let rid = t.locate_scan(Point::new(32.0, 32.0)).unwrap();
         let primary = t.region(rid).unwrap().primary();
         let j = t.register_node(Point::new(32.0, 32.0), 10.0);
         t.split_region(rid, primary, j).unwrap();
         let reference = route_uncached(&t, from, target).unwrap();
-        let executor = route_into(&t, from, target, &mut scratch).unwrap();
+        let executor = router.route(&t, from, target, &opts).unwrap();
         assert_eq!(executor, reference.executor);
-        assert_eq!(scratch.hops(), &reference.hops[..]);
+        assert_eq!(router.hops(), &reference.hops[..]);
     }
 
     #[test]
     fn express_route_tail_matches_uncached_reference() {
         let t = grid_topology(8); // 256 regions
         let ids: Vec<RegionId> = t.region_ids().collect();
-        let mut scratch = RouteScratch::new();
+        let mut router = Router::new();
+        let opts = RouteOptions::express();
         // Twice so the second round exercises the warm target_express slabs.
         for _round in 0..2 {
             for (i, &from) in ids.iter().enumerate().step_by(5) {
@@ -1523,19 +1796,19 @@ mod tests {
                     .region()
                     .center();
                 let reference = route_uncached(&t, from, target).unwrap();
-                let executor = route_express_into(&t, from, target, &mut scratch).unwrap();
+                let executor = router.route(&t, from, target, &opts).unwrap();
                 assert_eq!(executor, reference.executor, "{from} -> {target:?}");
                 assert!(
-                    scratch.hop_count() <= reference.hop_count(),
+                    router.hop_count() <= reference.hop_count(),
                     "{from} -> {target:?}: express {} hops vs greedy {}",
-                    scratch.hop_count(),
+                    router.hop_count(),
                     reference.hop_count()
                 );
                 // The last mile is hop-for-hop the greedy reference from
                 // the handoff region.
-                let handoff = scratch.hops()[scratch.express_prefix()];
+                let handoff = router.hops()[router.express_prefix()];
                 let tail = route_uncached(&t, handoff, target).unwrap();
-                assert_eq!(&scratch.hops()[scratch.express_prefix()..], &tail.hops[..]);
+                assert_eq!(&router.hops()[router.express_prefix()..], &tail.hops[..]);
             }
         }
     }
@@ -1546,17 +1819,19 @@ mod tests {
         let from = t.locate_scan(Point::new(0.5, 0.5)).unwrap();
         let target = Point::new(63.5, 63.5);
         let reference = route_uncached(&t, from, target).unwrap();
-        let mut scratch = RouteScratch::new();
-        let executor = route_express_into(&t, from, target, &mut scratch).unwrap();
+        let mut router = Router::new();
+        let executor = router
+            .route(&t, from, target, &RouteOptions::express())
+            .unwrap();
         assert_eq!(executor, reference.executor);
         assert!(
-            scratch.express_prefix() > 0,
+            router.express_prefix() > 0,
             "corner-to-corner route at 1024 regions never took an express hop"
         );
         assert!(
-            scratch.hop_count() * 2 <= reference.hop_count(),
+            router.hop_count() * 2 <= reference.hop_count(),
             "express {} hops vs greedy {}",
-            scratch.hop_count(),
+            router.hop_count(),
             reference.hop_count()
         );
     }
@@ -1566,26 +1841,92 @@ mod tests {
         let t = grid_topology(4);
         let from = t.first_region().unwrap();
         let inside = t.region(from).unwrap().region().center();
-        let path = route_express(&t, from, inside).unwrap();
-        assert_eq!(path.hop_count(), 0);
-        assert_eq!(path.executor, from);
+        let mut router = Router::new();
+        let executor = router
+            .route(&t, from, inside, &RouteOptions::express())
+            .unwrap();
+        assert_eq!(router.hop_count(), 0);
+        assert_eq!(executor, from);
     }
 
     #[test]
-    fn randomized_into_matches_wrapper_for_same_seed() {
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_facade() {
+        let t = grid_topology(6);
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let mut router = Router::new();
+        for (i, &from) in ids.iter().enumerate().step_by(7) {
+            let target = t
+                .region(ids[(i * 11 + 5) % ids.len()])
+                .unwrap()
+                .region()
+                .center();
+            let greedy = route(&t, from, target).unwrap();
+            let executor = router
+                .route(&t, from, target, &RouteOptions::greedy())
+                .unwrap();
+            assert_eq!(executor, greedy.executor);
+            assert_eq!(router.hops(), &greedy.hops[..]);
+            let express = route_express(&t, from, target).unwrap();
+            let executor = router
+                .route(&t, from, target, &RouteOptions::express())
+                .unwrap();
+            assert_eq!(executor, express.executor);
+            assert_eq!(router.hops(), &express.hops[..]);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn randomized_facade_matches_deprecated_wrapper_for_same_seed() {
         use rand::SeedableRng;
         let t = grid_topology(6);
         let from = t.first_region().unwrap();
         let target = Point::new(60.0, 60.0);
         let mut rng_a = rand::rngs::SmallRng::seed_from_u64(7);
         let mut rng_b = rand::rngs::SmallRng::seed_from_u64(7);
-        let mut scratch = RouteScratch::new();
+        let mut router = Router::new();
+        let opts = RouteOptions::randomized(0.25);
         for _ in 0..10 {
             let path = route_randomized(&t, from, target, 0.25, &mut rng_a).unwrap();
-            let executor =
-                route_randomized_into(&t, from, target, 0.25, &mut rng_b, &mut scratch).unwrap();
+            let executor = router
+                .route_with_rng(&t, from, target, &opts, &mut rng_b)
+                .unwrap();
             assert_eq!(executor, path.executor);
-            assert_eq!(scratch.hops(), &path.hops[..]);
+            assert_eq!(router.hops(), &path.hops[..]);
+        }
+    }
+
+    #[test]
+    fn snapshot_routing_matches_topology_routing() {
+        let t = grid_topology(8); // 256 regions
+        let snap = t.snapshot();
+        let ids: Vec<RegionId> = t.region_ids().collect();
+        let mut on_topo = Router::new();
+        let mut on_snap = Router::new();
+        for (i, &from) in ids.iter().enumerate().step_by(3) {
+            let target = t
+                .region(ids[(i * 17 + 3) % ids.len()])
+                .unwrap()
+                .region()
+                .center();
+            for opts in [RouteOptions::greedy(), RouteOptions::express()] {
+                let a = on_topo.route(&t, from, target, &opts).unwrap();
+                let b = on_snap.route(&*snap, from, target, &opts).unwrap();
+                assert_eq!(a, b, "{from} -> {target:?}");
+                assert_eq!(on_topo.hops(), on_snap.hops(), "{from} -> {target:?}");
+            }
+            let reference = route_uncached(&t, from, target).unwrap();
+            let on_view = route_uncached(&*snap, from, target).unwrap();
+            assert_eq!(reference, on_view);
+        }
+        // The snapshot's own locate agrees with the live spatial index.
+        for p in [
+            Point::new(0.5, 0.5),
+            Point::new(63.5, 63.5),
+            Point::new(31.0, 7.0),
+        ] {
+            assert_eq!(snap.locate(p).unwrap(), t.locate(p).unwrap());
         }
     }
 

@@ -14,11 +14,13 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, PoisonError, RwLock};
 
 use geogrid_geometry::{Point, Region, Space};
 use geogrid_marks::hot_path;
 
 use crate::audit::{Violation, ViolationKind};
+use crate::snapshot::{SnapshotCell, TopologySnapshot, TopologyView};
 use crate::{CoreError, NodeId, NodeInfo, RegionId};
 
 /// The role a node holds in the region it co-owns.
@@ -84,7 +86,7 @@ impl RegionEntry {
 /// Cells per axis of the [`GridIndex`]. 128×128 keeps the expected bucket
 /// occupancy at one region even for the largest evaluated networks (2¹⁴
 /// regions) while the whole index stays a few hundred kilobytes.
-const GRID_DIM: usize = 128;
+pub(crate) const GRID_DIM: usize = 128;
 
 /// Incrementally-maintained uniform-grid spatial index over the live
 /// regions.
@@ -216,7 +218,7 @@ pub const FINGER_SCALES: usize = 11;
 /// Axial-only coverage is enough for geometric progress: the worst-case
 /// off-axis target still shrinks its distance by `sin 45° ≈ 0.71` per
 /// hop, inside the express qualification window (see
-/// [`crate::routing::route_express_into`]).
+/// [`crate::routing::EXPRESS_DECAY`]).
 pub const FINGER_DIRS: usize = 4;
 
 /// Live finger entries per region ([`FINGER_SCALES`] × [`FINGER_DIRS`]).
@@ -312,16 +314,29 @@ pub struct Topology {
     /// Debug builds only; never part of equality or serialization.
     #[cfg(debug_assertions)]
     audit_tick: std::sync::atomic::AtomicU32,
+    /// Epoch-keyed snapshot memo behind [`Self::snapshot`]: the last
+    /// snapshot built, reused while `(instance_id, epoch)` still matches.
+    /// Interior-mutable so the getter stays `&self`; never cloned (a
+    /// clone's fresh instance id invalidates it by construction).
+    snap_cache: RwLock<Option<Arc<TopologySnapshot>>>,
+    /// The publication cell attached by [`Self::publish_handle`], if any.
+    /// While attached, every geometry-rewrite site republishes into it
+    /// (enforced by lint rules GG001/GG006). `None` costs publication
+    /// nothing — unattached topologies skip snapshot construction
+    /// entirely.
+    publish: Option<Arc<SnapshotCell>>,
 }
 
 /// Rectangle + center of one slot, padded to a cache line: the greedy
 /// scan reads both for every neighbor, so keeping them on one 64-byte
 /// line halves its memory traffic versus separate rect/center arrays.
-#[derive(Debug, Clone, Copy)]
+/// Shared with [`TopologySnapshot`], whose geometry mirror is a clone of
+/// this array.
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[repr(align(64))]
-struct SlotGeo {
-    rect: Region,
-    center: Point,
+pub(crate) struct SlotGeo {
+    pub(crate) rect: Region,
+    pub(crate) center: Point,
 }
 
 // Hand-written (not derived) so every clone gets a fresh `id`: a clone
@@ -345,6 +360,12 @@ impl Clone for Topology {
             finger_in: self.finger_in.clone(),
             #[cfg(debug_assertions)]
             audit_tick: std::sync::atomic::AtomicU32::new(0),
+            // A clone diverges immediately: it gets neither the memoized
+            // snapshot (its fresh instance id would invalidate it anyway)
+            // nor the publication cell — publishing a divergent clone's
+            // geometry to the original's readers would corrupt them.
+            snap_cache: RwLock::new(None),
+            publish: None,
         }
     }
 }
@@ -367,6 +388,8 @@ impl Default for Topology {
             finger_in: Vec::new(),
             #[cfg(debug_assertions)]
             audit_tick: std::sync::atomic::AtomicU32::new(0),
+            snap_cache: RwLock::new(None),
+            publish: None,
         }
     }
 }
@@ -413,7 +436,7 @@ impl Topology {
     /// # Panics
     ///
     /// Panics if called when the network already has regions.
-    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
+    // audit: geometry-rewrite requires = bump_epoch, publish_snapshot, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn bootstrap(&mut self, node: NodeId) -> Result<RegionId, CoreError> {
         assert!(self.region_count == 0, "bootstrap on a non-empty network");
         self.ensure_unassigned(node)?;
@@ -426,6 +449,7 @@ impl Topology {
         });
         self.assignments.insert(node, (rid, Role::Primary));
         self.rebuild_fingers_of(rid);
+        self.publish_snapshot();
         self.debug_audit();
         Ok(rid)
     }
@@ -581,7 +605,7 @@ impl Topology {
     }
 
     /// The region covering `p`, by linear scan. Correct but O(regions) —
-    /// prefer [`crate::routing::route`] in protocol paths; this is the
+    /// prefer [`crate::routing::Router`] in protocol paths; this is the
     /// ground truth used in tests and as a routing fallback.
     ///
     /// # Errors
@@ -668,7 +692,7 @@ impl Topology {
     ///   ids.
     /// * [`CoreError::WrongRole`] if `keep` is not the primary of `rid`, or
     ///   `give` is neither its secondary nor unassigned.
-    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
+    // audit: geometry-rewrite requires = bump_epoch, publish_snapshot, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn split_region(
         &mut self,
         rid: RegionId,
@@ -755,6 +779,7 @@ impl Topology {
         self.entry_mut(rid)?.neighbors = kept_list;
         self.entry_mut(new_rid)?.neighbors = new_list;
         self.fingers_after_split(rid, new_rid);
+        self.publish_snapshot();
         self.debug_audit();
         Ok(new_rid)
     }
@@ -769,7 +794,7 @@ impl Topology {
     /// * [`CoreError::NotMergeable`] if the rectangles don't merge.
     /// * [`CoreError::WrongRole`] if `primary`/`secondary` are not among
     ///   the current owners of `a` and `b`.
-    // audit: geometry-rewrite requires = bump_epoch, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
+    // audit: geometry-rewrite requires = bump_epoch, publish_snapshot, rewrite_geometry|alloc_slot|free_slot, rebuild_fingers_of|fingers_after_split|fingers_after_merge
     pub fn merge_regions(
         &mut self,
         a: RegionId,
@@ -845,6 +870,7 @@ impl Topology {
         }
         self.entry_mut(a)?.neighbors = neighbor_union;
         self.fingers_after_merge(a, b);
+        self.publish_snapshot();
         self.debug_audit();
         Ok(displaced)
     }
@@ -1317,6 +1343,12 @@ impl Topology {
                 ));
             }
         }
+        // Published-snapshot coherence: whatever concurrent readers can
+        // currently observe through the attached publication cell must be
+        // exactly this geometry at this epoch.
+        if let Some(cell) = &self.publish {
+            self.audit_snapshot(&cell.load(), &mut v);
+        }
         v
     }
 
@@ -1340,12 +1372,224 @@ impl Topology {
         }
     }
 
+    /// An immutable snapshot of the current geometry epoch: the slot
+    /// rectangle/center mirror, finger blocks, adjacency, and grid index,
+    /// flattened for lock-free concurrent routing (see
+    /// [`crate::snapshot`]). Memoized per `(instance_id, epoch)` — calling
+    /// this repeatedly between mutations returns the same `Arc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was built with `Default` and never given a
+    /// space.
+    pub fn snapshot(&self) -> Arc<TopologySnapshot> {
+        {
+            let memo = self
+                .snap_cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(s) = memo.as_ref() {
+                if s.instance_id == self.id && s.epoch == self.epoch {
+                    return Arc::clone(s);
+                }
+            }
+        }
+        let snap = Arc::new(self.build_snapshot());
+        *self
+            .snap_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&snap));
+        snap
+    }
+
+    /// Attaches (or returns) this topology's publication cell. From this
+    /// call on, every geometry rewrite ([`Self::bootstrap`],
+    /// [`Self::split_region`], [`Self::merge_regions`]) atomically
+    /// republishes a fresh [`TopologySnapshot`] into the cell, so reader
+    /// threads created with [`SnapshotCell::reader`] observe a coherent
+    /// epoch-by-epoch history of the geometry while this topology keeps
+    /// mutating. Unattached topologies (the default) pay nothing.
+    ///
+    /// Clones do **not** inherit the cell: a clone diverges immediately,
+    /// and its geometry must never reach the original's readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was built with `Default` and never given a
+    /// space.
+    pub fn publish_handle(&mut self) -> Arc<SnapshotCell> {
+        if let Some(cell) = &self.publish {
+            return Arc::clone(cell);
+        }
+        let cell = Arc::new(SnapshotCell::new(self.snapshot()));
+        self.publish = Some(Arc::clone(&cell));
+        cell
+    }
+
+    /// Republishes the current geometry into the attached publication
+    /// cell; a no-op (no snapshot is even built) while no cell is
+    /// attached. Publication happens only here and only beside the epoch
+    /// bump: GG001 requires this call at each of the three
+    /// geometry-rewrite sites, and GG006 forbids the publication
+    /// primitives everywhere else.
+    // audit: snapshot-publish
+    fn publish_snapshot(&mut self) {
+        if let Some(cell) = &self.publish {
+            cell.install_snapshot(self.snapshot());
+        }
+    }
+
+    /// Flattens the current geometry into a fresh [`TopologySnapshot`]
+    /// (CSR adjacency and grid candidate lists, cloned slot mirrors).
+    fn build_snapshot(&self) -> TopologySnapshot {
+        let slots = self.slots.len();
+        let mut live = Vec::with_capacity(slots);
+        let mut neighbor_off = Vec::with_capacity(slots + 1);
+        let mut neighbor_ids = Vec::new();
+        neighbor_off.push(0u32);
+        for s in &self.slots {
+            match s {
+                Some(e) => {
+                    live.push(true);
+                    neighbor_ids.extend_from_slice(&e.neighbors);
+                }
+                None => live.push(false),
+            }
+            neighbor_off.push(neighbor_ids.len() as u32);
+        }
+        let mut cell_off = Vec::new();
+        let mut cell_ids = Vec::with_capacity(self.grid.entries);
+        if !self.grid.cells.is_empty() {
+            cell_off.reserve(self.grid.cells.len() + 1);
+            cell_off.push(0u32);
+            for cell in &self.grid.cells {
+                cell_ids.extend_from_slice(cell);
+                cell_off.push(cell_ids.len() as u32);
+            }
+        }
+        TopologySnapshot {
+            space: self.space(),
+            instance_id: self.id,
+            epoch: self.epoch,
+            region_count: self.region_count,
+            slot_geo: self.slot_geo.clone(),
+            slot_fingers: self.slot_fingers.clone(),
+            live,
+            neighbor_off,
+            neighbor_ids,
+            grid_origin_x: self.grid.origin_x,
+            grid_origin_y: self.grid.origin_y,
+            grid_cell_w: self.grid.cell_w,
+            grid_cell_h: self.grid.cell_h,
+            cell_off,
+            cell_ids,
+            finger_base: self.finger_base(),
+        }
+    }
+
+    /// Checks the published snapshot against this topology's live
+    /// geometry: identity (instance + epoch) first — a mismatch there is
+    /// [`ViolationKind::StaleSnapshot`] and content comparison proves
+    /// nothing — then per-slot liveness, rectangles/centers (against the
+    /// authoritative slot table, not the mirror), finger blocks,
+    /// adjacency, and the grid candidate lists, all as
+    /// [`ViolationKind::SnapshotDrift`].
+    fn audit_snapshot(&self, snap: &TopologySnapshot, v: &mut Vec<Violation>) {
+        if snap.instance_id != self.id || snap.epoch != self.epoch {
+            v.push(Violation::new(
+                ViolationKind::StaleSnapshot {
+                    published: snap.epoch,
+                    current: self.epoch,
+                },
+                format!(
+                    "published snapshot is instance {} epoch {}, topology is instance {} epoch {}",
+                    snap.instance_id, snap.epoch, self.id, self.epoch
+                ),
+            ));
+            return;
+        }
+        if snap.slot_count() != self.slots.len() || snap.region_count != self.region_count {
+            v.push(Violation::new(
+                ViolationKind::SnapshotDrift(RegionId::new(0)),
+                format!(
+                    "snapshot has {} slots / {} regions, topology has {} / {}",
+                    snap.slot_count(),
+                    snap.region_count,
+                    self.slots.len(),
+                    self.region_count
+                ),
+            ));
+            return;
+        }
+        for slot in 0..self.slots.len() {
+            let rid = RegionId::new(slot as u32);
+            let Some(e) = &self.slots[slot] else {
+                if snap.live[slot] {
+                    v.push(Violation::new(
+                        ViolationKind::SnapshotDrift(rid),
+                        format!("{rid}: snapshot lists a dead slot as live"),
+                    ));
+                }
+                continue;
+            };
+            if !snap.live[slot] {
+                v.push(Violation::new(
+                    ViolationKind::SnapshotDrift(rid),
+                    format!("{rid}: snapshot lists a live slot as dead"),
+                ));
+                continue;
+            }
+            let geo = snap.slot_geo[slot];
+            if geo.rect != e.region || geo.center != e.region.center() {
+                v.push(Violation::new(
+                    ViolationKind::SnapshotDrift(rid),
+                    format!("{rid}: snapshot rect/center diverges from the region table"),
+                ));
+            }
+            if snap.slot_fingers[slot].ids() != self.slot_fingers[slot].ids() {
+                v.push(Violation::new(
+                    ViolationKind::SnapshotDrift(rid),
+                    format!("{rid}: snapshot finger block diverges from the finger mirror"),
+                ));
+            }
+            let lo = snap.neighbor_off[slot] as usize;
+            let hi = snap.neighbor_off[slot + 1] as usize;
+            if snap.neighbor_ids[lo..hi] != e.neighbors[..] {
+                v.push(Violation::new(
+                    ViolationKind::SnapshotDrift(rid),
+                    format!("{rid}: snapshot adjacency diverges from the neighbor list"),
+                ));
+            }
+        }
+        let snap_cells = snap.cell_off.len().saturating_sub(1);
+        if snap_cells != self.grid.cells.len() {
+            v.push(Violation::new(
+                ViolationKind::SnapshotDrift(RegionId::new(0)),
+                format!(
+                    "snapshot has {snap_cells} grid cells, topology has {}",
+                    self.grid.cells.len()
+                ),
+            ));
+            return;
+        }
+        for (i, cell) in self.grid.cells.iter().enumerate() {
+            let lo = snap.cell_off[i] as usize;
+            let hi = snap.cell_off[i + 1] as usize;
+            if snap.cell_ids[lo..hi] != cell[..] {
+                v.push(Violation::new(
+                    ViolationKind::SnapshotDrift(RegionId::new(0)),
+                    format!("grid cell {i}: snapshot candidate list diverges"),
+                ));
+            }
+        }
+    }
+
     /// Advances the geometry epoch. This is the **only** function allowed
     /// to write the epoch field (audit rule GG005), and it is called at
     /// exactly the three geometry-rewrite sites — [`Self::bootstrap`],
     /// [`Self::split_region`], [`Self::merge_regions`] — which rule GG001
     /// holds to the full three-site contract (epoch bump + grid index +
-    /// slot mirror).
+    /// slot mirror + snapshot publication).
     fn bump_epoch(&mut self) {
         self.epoch += 1;
     }
@@ -1583,6 +1827,78 @@ impl Topology {
         self.clear_fingers_of(b);
         self.retarget_in_links(b);
         self.rebuild_fingers_of(a);
+    }
+}
+
+// The live topology exposes the same read interface as its snapshots, so
+// single-threaded callers route directly (no snapshot build) through the
+// identical monomorphized engines.
+impl TopologyView for Topology {
+    fn space(&self) -> Space {
+        Topology::space(self)
+    }
+
+    fn instance_id(&self) -> u64 {
+        self.id
+    }
+
+    fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn region_count(&self) -> usize {
+        self.region_count
+    }
+
+    fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    #[inline]
+    fn is_live(&self, slot: usize) -> bool {
+        self.slots.get(slot).is_some_and(Option::is_some)
+    }
+
+    #[inline]
+    fn slot_rect(&self, slot: usize) -> Region {
+        self.slot_geo[slot].rect
+    }
+
+    #[inline]
+    fn slot_center(&self, slot: usize) -> Point {
+        self.slot_geo[slot].center
+    }
+
+    #[inline]
+    fn slot_fingers(&self, slot: usize) -> &FingerBlock {
+        &self.slot_fingers[slot]
+    }
+
+    #[inline]
+    fn neighbors(&self, slot: usize) -> &[RegionId] {
+        self.slots[slot].as_ref().map_or(&[], |e| &e.neighbors[..])
+    }
+
+    #[inline]
+    fn finger_base(&self) -> f64 {
+        Topology::finger_base(self)
+    }
+
+    #[inline]
+    fn grid_cell_of(&self, p: Point) -> u32 {
+        Topology::grid_cell_of(self, p)
+    }
+
+    fn grid_cell_count(&self) -> usize {
+        Topology::grid_cell_count(self)
+    }
+
+    fn grid_cell_rect(&self, cell: u32) -> Option<Region> {
+        Topology::grid_cell_rect(self, cell)
+    }
+
+    fn locate(&self, p: Point) -> Result<RegionId, CoreError> {
+        Topology::locate(self, p)
     }
 }
 
@@ -2220,6 +2536,44 @@ mod tests {
                     observed: 0
                 }
             )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_stale_published_snapshot() {
+        let (mut t, _, _, _) = two_regions();
+        let _cell = t.publish_handle();
+        assert!(t.audit().is_empty(), "{:?}", t.audit());
+        // Advance the epoch without republishing. (Only a test can: GG001
+        // requires publish_snapshot beside every bump_epoch at the rewrite
+        // sites, and GG006 pins publication to those sites.)
+        t.bump_epoch();
+        let v = t.audit();
+        assert!(
+            v.iter().any(|x| matches!(
+                x.kind,
+                ViolationKind::StaleSnapshot { published, current }
+                    if published + 1 == current
+            )),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn audit_detects_snapshot_content_drift() {
+        let (mut t, _, r, _) = two_regions();
+        let cell = t.publish_handle();
+        // Side-load a corrupted snapshot of the *same* epoch (tests are
+        // exempt from GG006): identity matches, so the audit must compare
+        // content and catch the dead-listed live region.
+        let mut snap = t.build_snapshot();
+        snap.live[r.index()] = false;
+        cell.install_snapshot(Arc::new(snap));
+        let v = t.audit();
+        assert!(
+            v.iter()
+                .any(|x| matches!(x.kind, ViolationKind::SnapshotDrift(rr) if rr == r)),
             "{v:?}"
         );
     }

@@ -1,24 +1,25 @@
 //! Property test for the cached routing engine: after every structural
 //! mutation in an arbitrary sequence — splits, merges, secondary
 //! placement/removal, role swaps, primary departures with fail-over or
-//! orphan repair — a [`routing::route_into`] through one long-lived
-//! [`RouteScratch`] must be hop-for-hop identical to the uncached
-//! reference [`routing::route_uncached`].
+//! orphan repair — a greedy [`Router::route`] through one long-lived
+//! [`Router`] must be hop-for-hop identical to the uncached reference
+//! [`routing::route_uncached`].
 //!
-//! The scratch is deliberately *not* reset between mutations: its
-//! next-hop cache carries entries from every earlier geometry epoch, and
-//! the queries repeatedly target one hot point so those entries are
-//! actually consulted. Any stale entry that leaked across an epoch bump
-//! (or a missing bump at a mutation site) shows up as a diverging path.
+//! The router (and the scratch it owns) is deliberately *not* reset
+//! between mutations: its next-hop cache carries entries from every
+//! earlier geometry epoch, and the queries repeatedly target one hot
+//! point so those entries are actually consulted. Any stale entry that
+//! leaked across an epoch bump (or a missing bump at a mutation site)
+//! shows up as a diverging path.
 //!
 //! Every query additionally runs through the two-phase express engine
-//! ([`routing::route_express_into`]) with the same scratch, so the
-//! express-link maintenance at each mutation site is interleaved with the
-//! structural churn: express routes must terminate at the same region as
-//! the uncached reference, never exceed its hop count, and finish with a
+//! ([`RouteOptions::express`]) with the same router, so the express-link
+//! maintenance at each mutation site is interleaved with the structural
+//! churn: express routes must terminate at the same region as the
+//! uncached reference, never exceed its hop count, and finish with a
 //! last mile that is hop-for-hop the greedy reference from the handoff.
 
-use geogrid_core::routing::{self, RouteScratch};
+use geogrid_core::routing::{self, RouteOptions, Router};
 use geogrid_core::{RegionId, Topology};
 use geogrid_geometry::{Point, Space};
 use proptest::prelude::*;
@@ -116,24 +117,21 @@ fn apply_op(t: &mut Topology, op: u8, x: f64, y: f64) {
 
 /// Routes `from → target` through both engines and describes any
 /// divergence (None = identical executor and hop trace).
-fn divergence(
-    t: &Topology,
-    scratch: &mut RouteScratch,
-    from: RegionId,
-    target: Point,
-) -> Option<String> {
+fn divergence(t: &Topology, router: &mut Router, from: RegionId, target: Point) -> Option<String> {
     let reference = routing::route_uncached(t, from, target).expect("reference route");
-    let executor = routing::route_into(t, from, target, scratch).expect("cached route");
+    let executor = router
+        .route(t, from, target, &RouteOptions::greedy())
+        .expect("cached route");
     if executor != reference.executor {
         return Some(format!(
             "executor diverged: cached {executor} vs reference {} ({from} -> {target:?})",
             reference.executor
         ));
     }
-    if scratch.hops() != &reference.hops[..] {
+    if router.hops() != &reference.hops[..] {
         return Some(format!(
             "hops diverged: cached {:?} vs reference {:?} ({from} -> {target:?})",
-            scratch.hops(),
+            router.hops(),
             reference.hops
         ));
     }
@@ -141,39 +139,41 @@ fn divergence(
 }
 
 /// Routes `from → target` through the two-phase express engine (same
-/// long-lived scratch — its express slabs carry entries across mutations)
+/// long-lived router — its express slabs carry entries across mutations)
 /// and checks the express contract against the uncached reference: same
 /// executor, never more hops, and a last-mile segment that is hop-for-hop
 /// the greedy reference from the handoff region.
 fn express_divergence(
     t: &Topology,
-    scratch: &mut RouteScratch,
+    router: &mut Router,
     from: RegionId,
     target: Point,
 ) -> Option<String> {
     let reference = routing::route_uncached(t, from, target).expect("reference route");
-    let executor = routing::route_express_into(t, from, target, scratch).expect("express route");
+    let executor = router
+        .route(t, from, target, &RouteOptions::express())
+        .expect("express route");
     if executor != reference.executor {
         return Some(format!(
             "express executor diverged: {executor} vs reference {} ({from} -> {target:?})",
             reference.executor
         ));
     }
-    if scratch.hop_count() > reference.hop_count() {
+    if router.hop_count() > reference.hop_count() {
         return Some(format!(
             "express route longer than greedy: {} vs {} hops ({from} -> {target:?}, prefix {})",
-            scratch.hop_count(),
+            router.hop_count(),
             reference.hop_count(),
-            scratch.express_prefix()
+            router.express_prefix()
         ));
     }
-    let handoff = scratch.hops()[scratch.express_prefix()];
+    let handoff = router.hops()[router.express_prefix()];
     let tail = routing::route_uncached(t, handoff, target).expect("tail reference");
-    if scratch.hops()[scratch.express_prefix()..] != tail.hops[..] {
+    if router.hops()[router.express_prefix()..] != tail.hops[..] {
         return Some(format!(
             "express last mile diverged from greedy reference at handoff {handoff}: \
              {:?} vs {:?} ({from} -> {target:?})",
-            &scratch.hops()[scratch.express_prefix()..],
+            &router.hops()[router.express_prefix()..],
             tail.hops
         ));
     }
@@ -194,7 +194,7 @@ proptest! {
         // The hot destination every interleaved query batch targets: its
         // cache entries are re-consulted across every geometry epoch.
         let hot = probe(hx, hy);
-        let mut scratch = RouteScratch::new();
+        let mut router = Router::new();
         for &(op, x, y) in &ops {
             apply_op(&mut t, op, x, y);
             let from_a = t.first_region().expect("non-empty");
@@ -209,14 +209,14 @@ proptest! {
                 (from_b, probe(x, y)),
                 (from_a, probe(64.0 - x, 64.0 - y)),
             ] {
-                if let Some(d) = divergence(&t, &mut scratch, from, target) {
+                if let Some(d) = divergence(&t, &mut router, from, target) {
                     prop_assert!(false, "after op {} at ({}, {}): {}", op, x, y, d);
                 }
-                // The express engine shares the scratch (and its cached
-                // express slabs) with the greedy queries above, so every
-                // mutation's finger rewiring is exercised while stale
-                // express entries from earlier epochs are still resident.
-                if let Some(d) = express_divergence(&t, &mut scratch, from, target) {
+                // The express engine shares the router's scratch (and its
+                // cached express slabs) with the greedy queries above, so
+                // every mutation's finger rewiring is exercised while
+                // stale express entries from earlier epochs are resident.
+                if let Some(d) = express_divergence(&t, &mut router, from, target) {
                     prop_assert!(false, "after op {} at ({}, {}): {}", op, x, y, d);
                 }
             }

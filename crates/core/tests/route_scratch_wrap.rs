@@ -6,11 +6,12 @@
 //! generation as "already visited" and silently deform the route.
 //!
 //! The test drives well over 256 queries — greedy and express — through
-//! one long-lived scratch, comparing every route hop-for-hop against the
-//! allocating [`routing::route_uncached`] reference, and interleaves
-//! topology growth so the stamp array is also resized mid-stream.
+//! one long-lived [`Router`] (which owns the scratch), comparing every
+//! route hop-for-hop against the allocating
+//! [`routing::route_uncached`] reference, and interleaves topology
+//! growth so the stamp array is also resized mid-stream.
 
-use geogrid_core::routing::{self, RouteScratch};
+use geogrid_core::routing::{self, RouteOptions, Router};
 use geogrid_core::{RegionId, Topology};
 use geogrid_geometry::{Point, Space};
 
@@ -37,9 +38,9 @@ fn visited_stamps_survive_generation_wraparound() {
         grow(&mut t, coord(i));
     }
 
-    let mut scratch = RouteScratch::new();
+    let mut router = Router::new();
     let ids: Vec<RegionId> = t.region_ids().collect();
-    // 700 routes through ONE scratch: the u8 generation wraps twice
+    // 700 routes through ONE router: the u8 generation wraps twice
     // (at queries 256 and 512 of each engine's begin() call pattern).
     // Each query must still match the reference, which allocates a fresh
     // visited set every time and so cannot be affected by the wrap.
@@ -49,23 +50,26 @@ fn visited_stamps_survive_generation_wraparound() {
         let reference = routing::route_uncached(&t, from, target).expect("reference");
 
         if q % 2 == 0 {
-            let executor = routing::route_into(&t, from, target, &mut scratch).expect("cached");
+            let executor = router
+                .route(&t, from, target, &RouteOptions::greedy())
+                .expect("cached");
             assert_eq!(executor, reference.executor, "query {q}");
-            assert_eq!(scratch.hops(), &reference.hops[..], "query {q}");
+            assert_eq!(router.hops(), &reference.hops[..], "query {q}");
         } else {
-            let executor =
-                routing::route_express_into(&t, from, target, &mut scratch).expect("express");
+            let executor = router
+                .route(&t, from, target, &RouteOptions::express())
+                .expect("express");
             assert_eq!(executor, reference.executor, "query {q}");
             assert!(
-                scratch.hop_count() <= reference.hop_count(),
+                router.hop_count() <= reference.hop_count(),
                 "query {q}: express {} hops vs greedy {}",
-                scratch.hop_count(),
+                router.hop_count(),
                 reference.hop_count()
             );
-            let handoff = scratch.hops()[scratch.express_prefix()];
+            let handoff = router.hops()[router.express_prefix()];
             let tail = routing::route_uncached(&t, handoff, target).expect("tail reference");
             assert_eq!(
-                &scratch.hops()[scratch.express_prefix()..],
+                &router.hops()[router.express_prefix()..],
                 &tail.hops[..],
                 "query {q}: last mile diverged from the greedy reference"
             );

@@ -6,7 +6,7 @@
 
 use geogrid::core::builder::{Mode, NetworkBuilder};
 use geogrid::core::load::LoadMap;
-use geogrid::core::routing;
+use geogrid::core::routing::{RouteOptions, Router};
 use geogrid::geometry::{Point, Space};
 use geogrid::metrics::Summary;
 use geogrid::workload::{HotSpotField, WorkloadGrid};
@@ -29,17 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Route a few location queries and observe the O(2*sqrt(N)) hops.
+    //    One Router carries the next-hop cache across all three queries.
     let entry = topo.first_region()?;
+    let mut router = Router::new();
     for target in [
         Point::new(5.0, 5.0),
         Point::new(60.0, 60.0),
         Point::new(32.0, 8.0),
     ] {
-        let path = routing::route(topo, entry, target)?;
+        let executor = router.route(topo, entry, target, &RouteOptions::greedy())?;
         println!(
-            "query at {target}: {} hops to executor region {}",
-            path.hop_count(),
-            path.executor
+            "query at {target}: {} hops to executor region {executor}",
+            router.hop_count(),
         );
     }
 

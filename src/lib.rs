@@ -22,7 +22,7 @@
 //!
 //! ```
 //! use geogrid::core::builder::{Mode, NetworkBuilder};
-//! use geogrid::core::routing;
+//! use geogrid::core::routing::{RouteOptions, Router};
 //! use geogrid::geometry::{Point, Space};
 //!
 //! // A 100-node dual-peer GeoGrid over the paper's 64x64-mile plane.
@@ -33,8 +33,9 @@
 //!
 //! // Route a location query toward its target coordinate.
 //! let entry = topo.first_region()?;
-//! let path = routing::route(topo, entry, Point::new(12.0, 51.0))?;
-//! println!("{} hops to the executor region", path.hop_count());
+//! let mut router = Router::new();
+//! router.route(topo, entry, Point::new(12.0, 51.0), &RouteOptions::greedy())?;
+//! println!("{} hops to the executor region", router.hop_count());
 //! # Ok::<(), geogrid::core::CoreError>(())
 //! ```
 //!

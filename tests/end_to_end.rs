@@ -6,7 +6,7 @@ use geogrid::core::balance::{AdaptationEngine, BalanceConfig};
 use geogrid::core::builder::{Mode, NetworkBuilder};
 use geogrid::core::join;
 use geogrid::core::load::LoadMap;
-use geogrid::core::routing;
+use geogrid::core::routing::{RouteOptions, Router};
 use geogrid::geometry::{Point, Space};
 use geogrid::metrics::gini;
 use geogrid::workload::{HotSpotField, WorkloadGrid};
@@ -128,13 +128,16 @@ fn routing_works_after_heavy_adaptation() {
     AdaptationEngine::default().run(net.topology_mut(), &grid, &mut loads, 25);
     let topo = net.topology();
     let entry = topo.first_region().unwrap();
+    let mut router = Router::new();
     for i in 0..50 {
         let target = Point::new(
             ((i as f64 * 0.7548).fract()) * 63.9 + 0.05,
             ((i as f64 * 0.5698).fract()) * 63.9 + 0.05,
         );
-        let path = routing::route(topo, entry, target).expect("routable");
-        assert!(topo.region(path.executor).unwrap().covers(target, space));
+        let executor = router
+            .route(topo, entry, target, &RouteOptions::greedy())
+            .expect("routable");
+        assert!(topo.region(executor).unwrap().covers(target, space));
     }
 }
 

@@ -5,7 +5,7 @@ use geogrid::core::balance::{AdaptationEngine, BalanceConfig};
 use geogrid::core::builder::{Mode, NetworkBuilder};
 use geogrid::core::join;
 use geogrid::core::load::LoadMap;
-use geogrid::core::routing;
+use geogrid::core::routing::{RouteOptions, Router};
 use geogrid::core::Topology;
 use geogrid::geometry::{Point, Space};
 use geogrid::workload::{HotSpot, HotSpotField, WorkloadGrid};
@@ -106,9 +106,12 @@ proptest! {
         let net = NetworkBuilder::new(space, seed).build(n);
         let topo = net.topology();
         let from = topo.first_region().expect("nonempty");
-        let path = routing::route(topo, from, target).expect("route");
-        prop_assert!(topo.region(path.executor).expect("live").covers(target, space));
-        prop_assert_eq!(path.executor, topo.locate_scan(target).expect("scan"));
+        let mut router = Router::new();
+        let executor = router
+            .route(topo, from, target, &RouteOptions::greedy())
+            .expect("route");
+        prop_assert!(topo.region(executor).expect("live").covers(target, space));
+        prop_assert_eq!(executor, topo.locate_scan(target).expect("scan"));
     }
 
     /// Adaptation preserves every structural invariant and never
@@ -183,9 +186,12 @@ proptest! {
         // Routing still works everywhere afterwards.
         let topo = net.topology();
         let entry = topo.first_region().expect("nonempty");
-        let path = routing::route(topo, entry, Point::new(33.0, 31.0)).expect("routable");
+        let mut router = Router::new();
+        let executor = router
+            .route(topo, entry, Point::new(33.0, 31.0), &RouteOptions::greedy())
+            .expect("routable");
         prop_assert!(topo
-            .region(path.executor)
+            .region(executor)
             .expect("live")
             .covers(Point::new(33.0, 31.0), space));
     }
