@@ -20,6 +20,7 @@
 //! | GG004 | `#![forbid(unsafe_code)]` present in every first-party crate root |
 //! | GG005 | the geometry epoch field is written only inside `bump_epoch` |
 //! | GG006 | the snapshot publication primitives (`publish_snapshot`, `install_snapshot`) are called only from `// audit: geometry-rewrite` / `// audit: snapshot-publish` marked functions |
+//! | GG007 | the store hand-off primitives (`split_for`, `absorb`) are called only from `// audit: store-handoff` marked functions, and every marked function actually calls one |
 //!
 //! Every rule has a fix-it hint ([`hint`]) and seeded-violation self-tests
 //! (this file's test module) proving it catches the mistake it exists
@@ -100,6 +101,15 @@ pub const RULES: &[RuleInfo] = &[
         hint: "publish through the geometry-rewrite sites (which call \
                publish_snapshot beside bump_epoch), or mark a deliberate new \
                publication site with `// audit: snapshot-publish`",
+    },
+    RuleInfo {
+        id: "GG007",
+        summary: "store hand-off primitives (split_for, absorb) are called only \
+                  from `// audit: store-handoff` marked functions, so records \
+                  and subscriptions migrate exactly once per geometry rewrite",
+        hint: "route the hand-off through a marked engine site (split/merge/\
+               join acceptance), or mark a deliberate new hand-off site with \
+               `// audit: store-handoff` and make it call split_for or absorb",
     },
 ];
 
@@ -779,6 +789,18 @@ pub const DEFAULT_REQUIRES: &[&[&str]] = &[
 /// stale/corrupt states for the runtime auditor.
 pub const SNAPSHOT_PRIMITIVES: &[&str] = &["publish_snapshot", "install_snapshot"];
 
+/// The store hand-off primitives: the only way records and subscriptions
+/// move between `RegionStore`s wholesale. `split_for` partitions a
+/// store in place and returns the half for the departing region;
+/// `absorb` unions a handed-over store with HLC last-write-wins
+/// resolution. Calling either outside a `// audit: store-handoff` marked
+/// function is a GG007 violation — an unmarked hand-off site could drop
+/// or duplicate live records during a geometry rewrite. Conversely a
+/// marked function that never calls a primitive is a dead marker, also
+/// flagged. Test code (including integration `tests/` trees) hands
+/// stores around freely to probe the primitives themselves.
+pub const HANDOFF_PRIMITIVES: &[&str] = &["split_for", "absorb"];
+
 const HOT_BANNED_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_owned", "to_string"];
 const HOT_BANNED_TYPES: &[&str] = &[
     "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
@@ -817,6 +839,14 @@ fn parse_requires(marker: &str) -> Vec<Vec<String>> {
         .collect()
 }
 
+/// Whether `path` is an integration-test or bench tree (`tests/`,
+/// `benches/`): item-level `#[cfg(test)]` tracking can't see these, the
+/// directory itself is the test marker.
+fn is_test_path(path: &str) -> bool {
+    let p = path.replace('\\', "/");
+    p.split('/').any(|seg| seg == "tests" || seg == "benches")
+}
+
 fn is_core_runtime_path(path: &str) -> bool {
     let p = path.replace('\\', "/");
     p.starts_with("crates/core/src/") || p == "crates/core/src"
@@ -840,6 +870,9 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     rule_geometry_rewrite(&fm, &mut out);
     rule_hot_path(&fm, &mut out);
     rule_snapshot_publish(&fm, &mut out);
+    if !is_test_path(path) {
+        rule_store_handoff(&fm, &mut out);
+    }
     if is_core_runtime_path(path) {
         rule_core_unwrap(&fm, &mut out);
         rule_epoch_write(&fm, &mut out);
@@ -909,6 +942,47 @@ fn rule_snapshot_publish(fm: &FileModel, out: &mut Vec<Finding>) {
                     message: format!(
                         "`{}` calls `{callee}` without an `audit: geometry-rewrite` \
                          or `audit: snapshot-publish` marker",
+                        f.name,
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// GG007: store hand-off only from marked sites, and no dead markers.
+fn rule_store_handoff(fm: &FileModel, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        let marked = f.markers.iter().any(|m| m.starts_with("store-handoff"));
+        if marked {
+            if !HANDOFF_PRIMITIVES
+                .iter()
+                .any(|callee| body_calls(&fm.tokens, &f.body, callee))
+            {
+                out.push(Finding {
+                    rule: "GG007",
+                    path: fm.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` is marked `audit: store-handoff` but never calls {}",
+                        f.name,
+                        HANDOFF_PRIMITIVES.join(" | "),
+                    ),
+                });
+            }
+            continue;
+        }
+        if f.is_test || HANDOFF_PRIMITIVES.contains(&f.name.as_str()) {
+            continue;
+        }
+        for callee in HANDOFF_PRIMITIVES {
+            if body_calls(&fm.tokens, &f.body, callee) {
+                out.push(Finding {
+                    rule: "GG007",
+                    path: fm.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` calls `{callee}` without an `audit: store-handoff` marker",
                         f.name,
                     ),
                 });
@@ -1261,6 +1335,63 @@ mod tests {
             }
         "#;
         assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg007_catches_unmarked_handoff() {
+        let src = r#"
+            pub fn quick_rebalance(&mut self) {
+                let half = self.store.split_for(&kept, &given);
+                self.sibling.absorb(half);
+            }
+        "#;
+        let f = lint_source("crates/core/src/engine/node.rs", src);
+        assert_eq!(rules_of(&f), vec!["GG007"; 2]);
+        assert!(f[0].message.contains("split_for"), "{}", f[0].message);
+        assert!(f[1].message.contains("absorb"));
+    }
+
+    #[test]
+    fn gg007_catches_dead_marker() {
+        let src = r#"
+            // audit: store-handoff
+            pub fn on_merge_regions(&mut self) {
+                self.region = merged;
+            }
+        "#;
+        let f = lint_source("crates/core/src/engine/node.rs", src);
+        assert_eq!(rules_of(&f), vec!["GG007"]);
+        assert!(f[0].message.contains("never calls"));
+    }
+
+    #[test]
+    fn gg007_accepts_marked_sites_primitives_and_tests() {
+        let src = r#"
+            // audit: store-handoff
+            pub fn on_merge_regions(&mut self) {
+                self.store.absorb(other);
+            }
+            pub fn split_for(&mut self, own: &Region, other: &Region) -> RegionStore {
+                self.partition(own, other)
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn hands_off_freely() {
+                    let b = a.split_for(&low, &high);
+                    a.absorb(b);
+                }
+            }
+        "#;
+        assert!(lint_source("crates/core/src/service/store.rs", src).is_empty());
+        // Integration-test trees hand stores around without markers.
+        let probe = r#"
+            fn run_ops(stores: &mut Vec<RegionStore>) {
+                let s = stores[0].split_for(&own, &other);
+                stores[0].absorb(s);
+            }
+        "#;
+        assert!(lint_source("crates/core/tests/store_model.rs", probe).is_empty());
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub enum Message {
         /// Neighbor entries relevant to that region.
         neighbors: Vec<NeighborInfo>,
         /// Records/subscriptions belonging to the region.
-        store: RegionStore,
+        store: Box<RegionStore>,
     },
     /// "You are now the secondary owner of my region."
     JoinAsSecondary {
@@ -66,7 +66,7 @@ pub enum Message {
         /// The primary owner (the sender).
         primary: NodeInfo,
         /// Replica of the primary's store.
-        store: RegionStore,
+        store: Box<RegionStore>,
         /// The primary's neighbor table, replicated so a promoted
         /// secondary can take over routing immediately.
         neighbors: Vec<NeighborInfo>,
@@ -79,7 +79,7 @@ pub enum Message {
         /// Neighbor entries relevant to that half.
         neighbors: Vec<NeighborInfo>,
         /// The store partition for that half.
-        store: RegionStore,
+        store: Box<RegionStore>,
     },
     /// Routing-table maintenance: upsert this region entry (keyed by
     /// rectangle) in your neighbor list — or drop it if no longer
@@ -185,7 +185,7 @@ pub enum Message {
         /// The departing owner's region.
         region: Region,
         /// Its store contents.
-        store: RegionStore,
+        store: Box<RegionStore>,
         /// Its neighbor table (the absorber unions it with its own).
         neighbors: Vec<NeighborInfo>,
     },
@@ -215,7 +215,7 @@ pub enum Message {
         /// The region to own.
         region: Region,
         /// The region's store.
-        store: RegionStore,
+        store: Box<RegionStore>,
         /// The region's neighbor table.
         neighbors: Vec<NeighborInfo>,
         /// The new secondary serving under the receiver, if any (for
@@ -225,7 +225,7 @@ pub enum Message {
     /// Primary → secondary state replication.
     SyncState {
         /// Full store snapshot.
-        store: RegionStore,
+        store: Box<RegionStore>,
         /// Current neighbor table.
         neighbors: Vec<NeighborInfo>,
     },

@@ -228,13 +228,18 @@ impl From<Owner> for State {
 
 impl Owner {
     fn new(
+        node: NodeId,
         region: Region,
         role: Role,
         peer: Option<NodeInfo>,
         neighbors: Vec<NeighborInfo>,
-        store: RegionStore,
+        mut store: RegionStore,
         now: u64,
     ) -> Self {
+        // Re-home the store's HLC clock: stamps minted for records
+        // published here must carry this owner's id so hand-off
+        // last-write-wins is totally ordered across owners.
+        store.set_node(node.as_u64());
         let last_neighbor_seen = neighbors.iter().map(|n| (n.primary.id(), now)).collect();
         Self {
             region,
@@ -370,6 +375,7 @@ impl NodeEngine {
     fn handle_bootstrap(&mut self, now: u64) -> Vec<Effect> {
         let region = self.space.bounds();
         self.state = State::from(Owner::new(
+            self.info.id(),
             region,
             Role::Primary,
             None,
@@ -407,7 +413,7 @@ impl NodeEngine {
                     to: peer.id(),
                     message: Message::TakeOverRegion {
                         region: owner.region,
-                        store: owner.store.clone(),
+                        store: Box::new(owner.store.clone()),
                         neighbors: owner.neighbors.clone(),
                         new_secondary: None,
                     },
@@ -427,7 +433,7 @@ impl NodeEngine {
                             to: absorber,
                             message: Message::MergeRegions {
                                 region: owner.region,
-                                store: owner.store.clone(),
+                                store: Box::new(owner.store.clone()),
                                 neighbors: owner.neighbors.clone(),
                             },
                         });
@@ -515,6 +521,7 @@ impl NodeEngine {
     }
 
     /// A departing sole-owner neighbor handed us its region: absorb it.
+    // audit: store-handoff
     fn on_merge_regions(
         &mut self,
         now: u64,
@@ -652,7 +659,7 @@ impl NodeEngine {
                     effects.push(Effect::Send {
                         to: peer.id(),
                         message: Message::SyncState {
-                            store: owner.store.clone(),
+                            store: Box::new(owner.store.clone()),
                             neighbors: owner.neighbors.clone(),
                         },
                     });
@@ -948,7 +955,7 @@ impl NodeEngine {
             to: secondary.id(),
             message: Message::TakeOverRegion {
                 region: my_region,
-                store: my_store,
+                store: Box::new(my_store),
                 neighbors: my_neighbors.clone(),
                 new_secondary,
             },
@@ -970,6 +977,7 @@ impl NodeEngine {
                     f64::MIN_POSITIVE,
                 ));
             self.state = State::from(Owner::new(
+                self.info.id(),
                 donor_region,
                 Role::Secondary,
                 Some(donor_info),
@@ -1021,13 +1029,14 @@ impl NodeEngine {
                     message: Message::JoinAsSecondary {
                         region,
                         primary: self.info,
-                        store: store.clone(),
+                        store: Box::new(store.clone()),
                         neighbors: neighbors.clone(),
                     },
                 });
             }
         }
         self.state = State::from(Owner::new(
+            self.info.id(),
             region,
             Role::Primary,
             new_secondary,
@@ -1050,18 +1059,18 @@ impl NodeEngine {
                 region,
                 neighbors,
                 store,
-            } => self.on_join_split(now, region, neighbors, store),
+            } => self.on_join_split(now, region, neighbors, *store),
             Message::JoinAsSecondary {
                 region,
                 primary,
                 store,
                 neighbors,
-            } => self.on_join_as_secondary(now, from, region, primary, store, neighbors),
+            } => self.on_join_as_secondary(now, from, region, primary, *store, neighbors),
             Message::SplitTakeover {
                 region,
                 neighbors,
                 store,
-            } => self.on_split_takeover(now, region, neighbors, store),
+            } => self.on_split_takeover(now, region, neighbors, *store),
             Message::NeighborUpdate { info } => self.on_neighbor_update(now, info),
             Message::Query {
                 query,
@@ -1103,7 +1112,7 @@ impl NodeEngine {
                 store,
                 neighbors,
                 new_secondary,
-            } => self.on_take_over_region(now, region, store, neighbors, new_secondary),
+            } => self.on_take_over_region(now, region, *store, neighbors, new_secondary),
             Message::LeaveNotice => self.on_leave_notice(from),
             Message::Detached => self.on_detached(from),
             Message::WhoOwns { region } => self.on_who_owns(from, region),
@@ -1112,8 +1121,8 @@ impl NodeEngine {
                 region,
                 store,
                 neighbors,
-            } => self.on_merge_regions(now, region, store, neighbors),
-            Message::SyncState { store, neighbors } => self.on_sync_state(now, store, neighbors),
+            } => self.on_merge_regions(now, region, *store, neighbors),
+            Message::SyncState { store, neighbors } => self.on_sync_state(now, *store, neighbors),
         }
     }
 
@@ -1191,6 +1200,7 @@ impl NodeEngine {
 
     /// Basic-mode acceptance: split the covering region, keep the half
     /// containing our coordinate, hand the other to the joiner.
+    // audit: store-handoff
     fn accept_join_by_split(&mut self, now: u64, joiner: NodeInfo) -> Vec<Effect> {
         let State::Owner(owner) = &mut self.state else {
             return Vec::new();
@@ -1250,7 +1260,7 @@ impl NodeEngine {
             message: Message::JoinSplit {
                 region: given,
                 neighbors: joiner_neighbors,
-                store: given_store,
+                store: Box::new(given_store),
             },
         });
         effects
@@ -1332,7 +1342,7 @@ impl NodeEngine {
             message: Message::JoinAsSecondary {
                 region: owner.region,
                 primary: primary_info,
-                store: owner.store.clone(),
+                store: Box::new(owner.store.clone()),
                 neighbors: owner.neighbors.clone(),
             },
         }];
@@ -1349,6 +1359,7 @@ impl NodeEngine {
 
     /// Splits a full region between its dual peers; if `joiner` is given,
     /// it is then directed to the weaker half's owner as secondary.
+    // audit: store-handoff
     fn split_with_peer_and_place(&mut self, now: u64, joiner: Option<NodeInfo>) -> Vec<Effect> {
         let State::Owner(owner) = &mut self.state else {
             return Vec::new();
@@ -1403,7 +1414,7 @@ impl NodeEngine {
             message: Message::SplitTakeover {
                 region: given,
                 neighbors: peer_neighbors,
-                store: given_store,
+                store: Box::new(given_store),
             },
         });
         if let Some(joiner) = joiner {
@@ -1436,6 +1447,7 @@ impl NodeEngine {
             }
         }
         self.state = State::from(Owner::new(
+            self.info.id(),
             region,
             Role::Primary,
             None,
@@ -1493,7 +1505,15 @@ impl NodeEngine {
             region.center(),
             f64::MIN_POSITIVE,
         )));
-        self.state = State::from(Owner::new(region, role, peer, neighbors, store, now));
+        self.state = State::from(Owner::new(
+            self.info.id(),
+            region,
+            role,
+            peer,
+            neighbors,
+            store,
+            now,
+        ));
         vec![Effect::Client(ClientEvent::Joined { region, role })]
     }
 
@@ -1515,6 +1535,7 @@ impl NodeEngine {
             });
         }
         self.state = State::from(Owner::new(
+            self.info.id(),
             region,
             Role::Primary,
             None,
@@ -1802,7 +1823,7 @@ impl NodeEngine {
                 effects.push(Effect::Send {
                     to: peer.id(),
                     message: Message::SyncState {
-                        store: owner.store.clone(),
+                        store: Box::new(owner.store.clone()),
                         neighbors: owner.neighbors.clone(),
                     },
                 });
@@ -1969,7 +1990,7 @@ mod tests {
                         node(1, 10.0, 10.0, 10.0),
                         Region::new(0.0, 0.0, 64.0, 32.0),
                     )],
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                 },
             },
         );
@@ -2076,7 +2097,7 @@ mod tests {
                 message: Message::JoinSplit {
                     region: Region::new(0.0, 0.0, 64.0, 32.0),
                     neighbors: vec![NeighborInfo::new(neighbor, north)],
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                 },
             },
         );
@@ -2135,7 +2156,7 @@ mod tests {
                 message: Message::JoinAsSecondary {
                     region: Space::paper_evaluation().bounds(),
                     primary: node(1, 10.0, 10.0, 10.0),
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                     neighbors: Vec::new(),
                 },
             },
@@ -2191,7 +2212,7 @@ mod tests {
                 message: Message::JoinSplit {
                     region: Region::new(0.0, 0.0, 64.0, 32.0),
                     neighbors: Vec::new(),
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                 },
             },
         );
@@ -2231,7 +2252,7 @@ mod tests {
                 message: Message::JoinSplit {
                     region: Region::new(0.0, 0.0, 64.0, 32.0),
                     neighbors: vec![neighbor],
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                 },
             },
         );
@@ -2511,7 +2532,7 @@ mod tests {
                 from: NodeId::new(1),
                 message: Message::TakeOverRegion {
                     region,
-                    store: RegionStore::new(),
+                    store: Box::new(RegionStore::new()),
                     neighbors,
                     new_secondary: Some(node(1, 10.0, 10.0, 1.0)),
                 },

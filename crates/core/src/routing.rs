@@ -67,10 +67,10 @@
 //! [`TopologySnapshot`](crate::snapshot::TopologySnapshot) published
 //! through a [`SnapshotCell`](crate::snapshot::SnapshotCell) — N reader
 //! threads each hold their own `Router` and route lock-free while
-//! writers mutate the live topology. The historical free functions
-//! ([`route`], [`route_into`], [`route_express`], [`route_express_into`],
-//! [`route_randomized`], [`route_randomized_into`]) remain as
-//! `#[deprecated]` thin wrappers over the same engines.
+//! writers mutate the live topology. (The historical free-function
+//! wrappers — `route`, `route_into`, `route_express`, and friends — have
+//! been removed; [`route_uncached`] is the one free function left, kept
+//! as the verification reference.)
 //!
 //! The cache slabs index slots as `u32` (they were `u16` until the
 //! 65k-slot sentinel ceiling silently disengaged every tier on
@@ -319,9 +319,9 @@ impl RouteCache {
 }
 
 /// Reusable routing state: visited stamps, hop/candidate buffers, and the
-/// epoch-invalidated next-hop cache. [`Router`] owns one; callers on the
-/// deprecated free-function API hold one directly. See the
-/// [module docs](self) for the design.
+/// epoch-invalidated next-hop cache. [`Router`] owns one; the join
+/// helpers borrow the thread-local one. See the [module docs](self) for
+/// the design.
 ///
 /// A scratch may be reused freely across different [`Topology`] instances
 /// and [`TopologyView`]s — the cache re-keys itself on
@@ -760,25 +760,8 @@ pub(crate) fn greedy_into<V: TopologyView + ?Sized>(
     greedy_loop(view, from, target, scratch, l1, l2, budget, 0)
 }
 
-/// Routes from `from` to the region covering `target` using the reusable
-/// `scratch`. Deprecated thin wrapper over the same engine
-/// [`Router::route`] drives with [`RouteOptions::greedy`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route with RouteOptions::greedy()")]
-pub fn route_into<V: TopologyView + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-    scratch: &mut RouteScratch,
-) -> Result<RegionId, CoreError> {
-    greedy_into(view, from, target, scratch)
-}
-
-/// The greedy mesh walk shared by [`route_into`] (whole route, `base` 0)
-/// and [`route_express_into`] (last mile, `base` = express prefix length):
+/// The greedy mesh walk shared by [`greedy_into`] (whole route, `base` 0)
+/// and [`express_into`] (last mile, `base` = express prefix length):
 /// termination test, hop budget relative to `base`, and the three-arm
 /// cache match per hop. The caller has already pushed and visited
 /// `current`; the express prefix before `base` carries no visited marks,
@@ -1042,45 +1025,7 @@ pub(crate) fn express_into<V: TopologyView + ?Sized>(
     greedy_loop(view, current, target, scratch, l1, l2, budget, express_hops)
 }
 
-/// Two-phase express route into a caller-held scratch. Deprecated thin
-/// wrapper over the engine [`Router::route`] drives with
-/// [`RouteOptions::express`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route with RouteOptions::express()")]
-pub fn route_express_into<V: TopologyView + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-    scratch: &mut RouteScratch,
-) -> Result<RegionId, CoreError> {
-    express_into(view, from, target, scratch)
-}
-
-/// Two-phase express route with the thread-local scratch. Deprecated thin
-/// wrapper; use [`Router::route`] with [`RouteOptions::express`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route with RouteOptions::express()")]
-pub fn route_express<V: TopologyView + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-) -> Result<RoutePath, CoreError> {
-    with_thread_scratch(|scratch| {
-        let executor = express_into(view, from, target, scratch)?;
-        Ok(RoutePath {
-            executor,
-            hops: scratch.hops.clone(),
-        })
-    })
-}
-
-/// Like [`route_into`], but at each step picks uniformly at random among
+/// Like [`greedy_into`], but at each step picks uniformly at random among
 /// the near-optimal next hops (`slack`-relative tie window). Reuses the
 /// scratch buffers but never consults the next-hop cache — the point of
 /// randomization is to *not* repeat the previous choice.
@@ -1153,28 +1098,9 @@ pub(crate) fn randomized_into<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
     }
 }
 
-/// Randomized route into a caller-held scratch. Deprecated thin wrapper
-/// over the engine [`Router::route_with_rng`] drives with
-/// [`RouteOptions::randomized`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route_with_rng with RouteOptions::randomized(slack)")]
-pub fn route_randomized_into<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-    slack: f64,
-    rng: &mut R,
-    scratch: &mut RouteScratch,
-) -> Result<RegionId, CoreError> {
-    randomized_into(view, from, target, slack, rng, scratch)
-}
-
 thread_local! {
-    /// Per-thread scratch backing the allocating wrappers, so plain
-    /// [`route`] callers still reuse buffers and the next-hop cache.
+    /// Per-thread scratch backing the join helpers, so callers without a
+    /// [`Router`] of their own still reuse buffers and the next-hop cache.
     static THREAD_SCRATCH: RefCell<RouteScratch> = RefCell::new(RouteScratch::new());
 }
 
@@ -1397,52 +1323,6 @@ impl Router {
     pub fn scratch_mut(&mut self) -> &mut RouteScratch {
         &mut self.scratch
     }
-}
-
-/// Routes from `from` to the region covering `target`, greedily, with the
-/// thread-local scratch. Deprecated thin wrapper; use [`Router::route`]
-/// with [`RouteOptions::greedy`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route with RouteOptions::greedy()")]
-pub fn route<V: TopologyView + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-) -> Result<RoutePath, CoreError> {
-    with_thread_scratch(|scratch| {
-        let executor = greedy_into(view, from, target, scratch)?;
-        Ok(RoutePath {
-            executor,
-            hops: scratch.hops.clone(),
-        })
-    })
-}
-
-/// Randomized route with the thread-local scratch. Deprecated thin
-/// wrapper; use [`Router::route_with_rng`] with
-/// [`RouteOptions::randomized`].
-///
-/// # Errors
-///
-/// Same conditions as [`Router::route`].
-#[deprecated(note = "use Router::route_with_rng with RouteOptions::randomized(slack)")]
-pub fn route_randomized<V: TopologyView + ?Sized, R: rand::Rng + ?Sized>(
-    view: &V,
-    from: RegionId,
-    target: Point,
-    slack: f64,
-    rng: &mut R,
-) -> Result<RoutePath, CoreError> {
-    with_thread_scratch(|scratch| {
-        let executor = randomized_into(view, from, target, slack, rng, scratch)?;
-        Ok(RoutePath {
-            executor,
-            hops: scratch.hops.clone(),
-        })
-    })
 }
 
 /// The original allocating implementation — per-query `HashSet` and
@@ -1847,54 +1727,6 @@ mod tests {
             .unwrap();
         assert_eq!(router.hop_count(), 0);
         assert_eq!(executor, from);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_match_facade() {
-        let t = grid_topology(6);
-        let ids: Vec<RegionId> = t.region_ids().collect();
-        let mut router = Router::new();
-        for (i, &from) in ids.iter().enumerate().step_by(7) {
-            let target = t
-                .region(ids[(i * 11 + 5) % ids.len()])
-                .unwrap()
-                .region()
-                .center();
-            let greedy = route(&t, from, target).unwrap();
-            let executor = router
-                .route(&t, from, target, &RouteOptions::greedy())
-                .unwrap();
-            assert_eq!(executor, greedy.executor);
-            assert_eq!(router.hops(), &greedy.hops[..]);
-            let express = route_express(&t, from, target).unwrap();
-            let executor = router
-                .route(&t, from, target, &RouteOptions::express())
-                .unwrap();
-            assert_eq!(executor, express.executor);
-            assert_eq!(router.hops(), &express.hops[..]);
-        }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn randomized_facade_matches_deprecated_wrapper_for_same_seed() {
-        use rand::SeedableRng;
-        let t = grid_topology(6);
-        let from = t.first_region().unwrap();
-        let target = Point::new(60.0, 60.0);
-        let mut rng_a = rand::rngs::SmallRng::seed_from_u64(7);
-        let mut rng_b = rand::rngs::SmallRng::seed_from_u64(7);
-        let mut router = Router::new();
-        let opts = RouteOptions::randomized(0.25);
-        for _ in 0..10 {
-            let path = route_randomized(&t, from, target, 0.25, &mut rng_a).unwrap();
-            let executor = router
-                .route_with_rng(&t, from, target, &opts, &mut rng_b)
-                .unwrap();
-            assert_eq!(executor, path.executor);
-            assert_eq!(router.hops(), &path.hops[..]);
-        }
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The per-store uniform-grid spatial sub-index.
+//!
+//! A [`RegionStore`](crate::service::RegionStore) past a few hundred
+//! entries buckets its record *positions* and its subscription *areas*
+//! into a [`STORE_GRID_DIM`]² uniform grid, the same incremental-bucket
+//! pattern the topology's `GridIndex` uses for region rectangles:
+//!
+//! * each **record** slot lives in exactly the one cell containing its
+//!   position, so a range query touches only the cells its rectangle
+//!   overlaps and a moving object's re-publish rewrites at most two
+//!   cells (remove from the old, insert into the new — usually the same
+//!   cell, a no-op);
+//! * each **subscription** slot is listed in every cell its watched area
+//!   overlaps (clamped into the grid's bounds), so a publish consults
+//!   only the subscriber list of the single cell its position falls in —
+//!   fan-out cost is proportional to the subscriptions *near the
+//!   movement*, not to all standing subscriptions.
+//!
+//! Unlike the topology grid, a store has no fixed space: bounds are
+//! learned from the record positions actually published (the store level
+//! grows them geometrically and rebuilds, amortized O(1) per insert).
+//! Sub-cell geometry is `f64` like everything else in the repo; the grid
+//! only ever *narrows* candidate sets — exact `matches` checks follow —
+//! so clamping at the boundary is always safe, never lossy.
+
+use geogrid_geometry::{Point, Region};
+
+/// Cells per axis of the store grid. 64×64 keeps the whole index under a
+/// megabyte while a million uniformly-spread records still average ~244
+/// per bucket — a few microseconds of exact checks per bucket touched.
+pub(crate) const STORE_GRID_DIM: usize = 64;
+
+/// Live entries (records + subscriptions) below which a store stays
+/// unindexed and scans linearly. Keeps the thousands of small per-region
+/// stores a simulated overlay carries at a few hundred bytes each; the
+/// grid is built the moment a store crosses this size.
+pub(crate) const INDEX_THRESHOLD: usize = 256;
+
+/// The grid itself: bucket arrays for record slots and subscription
+/// slots over a learned bounding box.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StoreGrid {
+    origin_x: f64,
+    origin_y: f64,
+    cell_w: f64,
+    cell_h: f64,
+    /// Row-major record buckets: slot indexes of records whose position
+    /// falls in the cell.
+    records: Vec<Vec<u32>>,
+    /// Row-major subscription buckets: slot indexes of subscriptions
+    /// whose area overlaps the cell.
+    subs: Vec<Vec<u32>>,
+}
+
+impl StoreGrid {
+    /// An empty grid over `bounds` (degenerate bounds get a minimum
+    /// extent so cell sizes stay positive).
+    pub(crate) fn new(bounds: Region) -> Self {
+        let w = bounds.width().max(f64::MIN_POSITIVE);
+        let h = bounds.height().max(f64::MIN_POSITIVE);
+        Self {
+            origin_x: bounds.x(),
+            origin_y: bounds.y(),
+            cell_w: w / STORE_GRID_DIM as f64,
+            cell_h: h / STORE_GRID_DIM as f64,
+            records: vec![Vec::new(); STORE_GRID_DIM * STORE_GRID_DIM],
+            subs: vec![Vec::new(); STORE_GRID_DIM * STORE_GRID_DIM],
+        }
+    }
+
+    /// Whether `p` falls inside the grid's covered rectangle (points
+    /// outside require a store-level rebuild with grown bounds).
+    pub(crate) fn covers(&self, p: Point) -> bool {
+        let east = self.origin_x + self.cell_w * STORE_GRID_DIM as f64;
+        let north = self.origin_y + self.cell_h * STORE_GRID_DIM as f64;
+        p.x >= self.origin_x && p.x <= east && p.y >= self.origin_y && p.y <= north
+    }
+
+    /// The covered rectangle (for growth unions).
+    pub(crate) fn bounds(&self) -> Region {
+        Region::new(
+            self.origin_x,
+            self.origin_y,
+            self.cell_w * STORE_GRID_DIM as f64,
+            self.cell_h * STORE_GRID_DIM as f64,
+        )
+    }
+
+    /// Column of `x`, clamped into range (float→int casts saturate, so
+    /// coordinates west of the origin land in column 0).
+    fn col(&self, x: f64) -> usize {
+        (((x - self.origin_x) / self.cell_w) as usize).min(STORE_GRID_DIM - 1)
+    }
+
+    fn row(&self, y: f64) -> usize {
+        (((y - self.origin_y) / self.cell_h) as usize).min(STORE_GRID_DIM - 1)
+    }
+
+    /// Row-major index of the cell containing `p` (clamped into range).
+    pub(crate) fn cell_of(&self, p: Point) -> usize {
+        self.row(p.y) * STORE_GRID_DIM + self.col(p.x)
+    }
+
+    /// Inclusive `(col_lo, col_hi, row_lo, row_hi)` span of `r`, clamped
+    /// into the grid.
+    pub(crate) fn span(&self, r: &Region) -> (usize, usize, usize, usize) {
+        (
+            self.col(r.x()),
+            self.col(r.east()),
+            self.row(r.y()),
+            self.row(r.north()),
+        )
+    }
+
+    /// Record slots bucketed in the cell at row-major index `cell`.
+    pub(crate) fn records_in(&self, cell: usize) -> &[u32] {
+        &self.records[cell]
+    }
+
+    /// Subscription slots whose area overlaps the cell containing `p`.
+    pub(crate) fn subs_at(&self, p: Point) -> &[u32] {
+        &self.subs[self.cell_of(p)]
+    }
+
+    pub(crate) fn insert_record(&mut self, slot: u32, p: Point) {
+        let cell = self.cell_of(p);
+        self.records[cell].push(slot);
+    }
+
+    pub(crate) fn remove_record(&mut self, slot: u32, p: Point) {
+        let cell = self.cell_of(p);
+        let bucket = &mut self.records[cell];
+        if let Some(i) = bucket.iter().position(|&s| s == slot) {
+            bucket.swap_remove(i);
+        }
+    }
+
+    /// Re-files a record slot that moved from `from` to `to`; a no-op
+    /// when both positions share a cell (the common case for GPS-stream
+    /// updates: objects move much less than a cell per tick).
+    pub(crate) fn move_record(&mut self, slot: u32, from: Point, to: Point) {
+        if self.cell_of(from) == self.cell_of(to) {
+            return;
+        }
+        self.remove_record(slot, from);
+        self.insert_record(slot, to);
+    }
+
+    pub(crate) fn insert_sub(&mut self, slot: u32, area: &Region) {
+        let (c0, c1, r0, r1) = self.span(area);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                self.subs[row * STORE_GRID_DIM + col].push(slot);
+            }
+        }
+    }
+
+    pub(crate) fn remove_sub(&mut self, slot: u32, area: &Region) {
+        let (c0, c1, r0, r1) = self.span(area);
+        for row in r0..=r1 {
+            for col in c0..=c1 {
+                let bucket = &mut self.subs[row * STORE_GRID_DIM + col];
+                if let Some(i) = bucket.iter().position(|&s| s == slot) {
+                    bucket.swap_remove(i);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_file_into_one_cell_and_move_incrementally() {
+        let mut g = StoreGrid::new(Region::new(0.0, 0.0, 64.0, 64.0));
+        g.insert_record(7, Point::new(1.2, 1.2));
+        assert_eq!(g.records_in(g.cell_of(Point::new(1.2, 1.2))), &[7]);
+        // Move within the same cell (cells are 1×1 here): bucket untouched.
+        g.move_record(7, Point::new(1.2, 1.2), Point::new(1.8, 1.8));
+        assert_eq!(g.records_in(g.cell_of(Point::new(1.2, 1.2))), &[7]);
+        // Move across cells: re-filed.
+        g.move_record(7, Point::new(1.8, 1.8), Point::new(50.0, 50.0));
+        assert!(g.records_in(g.cell_of(Point::new(1.2, 1.2))).is_empty());
+        assert_eq!(g.records_in(g.cell_of(Point::new(50.0, 50.0))), &[7]);
+    }
+
+    #[test]
+    fn subs_cover_their_span_and_clamp_outside_areas() {
+        let mut g = StoreGrid::new(Region::new(0.0, 0.0, 64.0, 64.0));
+        let area = Region::new(10.0, 10.0, 5.0, 5.0);
+        g.insert_sub(3, &area);
+        assert!(g.subs_at(Point::new(12.0, 12.0)).contains(&3));
+        assert!(!g.subs_at(Point::new(40.0, 40.0)).contains(&3));
+        g.remove_sub(3, &area);
+        assert!(g.subs_at(Point::new(12.0, 12.0)).is_empty());
+        // An area entirely outside the bounds clamps to the border cells
+        // (a superset listing is safe — exact matches follow).
+        let outside = Region::new(100.0, 100.0, 5.0, 5.0);
+        g.insert_sub(4, &outside);
+        assert!(g.subs_at(Point::new(63.9, 63.9)).contains(&4));
+    }
+
+    #[test]
+    fn tiny_bounds_stay_usable() {
+        let g = StoreGrid::new(Region::new(5.0, 5.0, 1e-9, 1e-9));
+        assert!(g.covers(Point::new(5.0, 5.0)));
+        assert_eq!(g.cell_of(Point::new(5.0, 5.0)), 0);
+        assert!(!g.covers(Point::new(6.0, 5.0)));
+    }
+}

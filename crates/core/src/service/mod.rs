@@ -12,11 +12,14 @@
 //! by record/subscription position; when the dual peer takes over after a
 //! failure, it activates its replica of the same store.
 
+mod grid;
+mod hlc;
 mod query;
 mod record;
 mod store;
 mod subscription;
 
+pub use hlc::{Hlc, HlcClock};
 pub use query::LocationQuery;
 pub use record::LocationRecord;
 pub use store::RegionStore;

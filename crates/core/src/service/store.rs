@@ -1,15 +1,154 @@
 //! The per-region content store.
+//!
+//! Built for GPS-stream workloads — millions of moving objects whose
+//! dominant operation is *re-publish* (the same id at a new position):
+//!
+//! * **Slab slots + id hash.** Records live in a slab of reusable slots
+//!   with an id→slot map, so a re-publish is an O(1) slot overwrite
+//!   instead of the old `retain` + push over a flat `Vec`.
+//! * **Uniform-grid sub-index.** Past [`INDEX_THRESHOLD`] live entries a
+//!   store buckets record positions and subscription areas into a
+//!   [`StoreGrid`], so range queries touch only overlapping buckets and
+//!   a publish consults only its own cell's subscriber list.
+//! * **HLC last-write-wins.** Every record carries an [`Hlc`] stamp
+//!   minted by the store's clock; replica hand-off during split, merge,
+//!   and fail-over resolves duplicate ids deterministically (larger
+//!   stamp wins, incoming wins exact ties).
+//! * **Expiry wheel.** Deadlines are filed into a timing wheel (near
+//!   buckets + far heap) and drained as the clock advances, replacing
+//!   the old per-publish full sweep; total expiry work is O(entries),
+//!   not O(publishes × entries). [`RegionStore::expiry_work`] counts
+//!   entries examined so tests can assert the amortization.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
-use geogrid_geometry::Region;
+use geogrid_geometry::{Point, Region};
+use geogrid_marks::hot_path;
 
-use crate::service::{LocationQuery, LocationRecord, Subscription};
+use crate::service::grid::{StoreGrid, INDEX_THRESHOLD, STORE_GRID_DIM};
+use crate::service::{Hlc, HlcClock, LocationQuery, LocationRecord, Subscription};
 use crate::NodeId;
+
+/// Slots per revolution of the expiry wheel. Deadlines within this many
+/// ticks of the cursor sit in per-tick buckets; farther ones wait in a
+/// min-heap and migrate into buckets as the cursor approaches.
+const WHEEL_SLOTS: u64 = 64;
+
+/// An occupied record slot: the record plus its publish stamp.
+#[derive(Debug, Clone, PartialEq)]
+struct RecordSlot {
+    record: LocationRecord,
+    stamp: Hlc,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EntryKind {
+    Record,
+    Sub,
+}
+
+/// A scheduled deadline: validated lazily against the slot's current
+/// occupant when drained, so renewals and slot reuse need no cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct WheelEntry {
+    at: u64,
+    kind: EntryKind,
+    slot: u32,
+}
+
+/// The lazy expiry wheel: per-tick near buckets plus a far heap.
+#[derive(Debug, Clone, Default)]
+struct ExpiryWheel {
+    /// Empty until the first deadline is filed, then `WHEEL_SLOTS` long.
+    buckets: Vec<Vec<WheelEntry>>,
+    far: BinaryHeap<Reverse<WheelEntry>>,
+    /// High-water mark of every `now` a mutating operation has seen.
+    cursor: u64,
+    /// Entries examined so far (the amortization contract for tests).
+    work: u64,
+}
+
+impl ExpiryWheel {
+    fn schedule(&mut self, at: u64, kind: EntryKind, slot: u32) {
+        if self.buckets.is_empty() {
+            self.buckets.resize_with(WHEEL_SLOTS as usize, Vec::new);
+        }
+        let entry = WheelEntry { at, kind, slot };
+        // Deadlines already at or behind the cursor file one tick ahead so
+        // the next advance drains them.
+        let due = at.max(self.cursor.saturating_add(1));
+        if due - self.cursor <= WHEEL_SLOTS {
+            self.buckets[(due % WHEEL_SLOTS) as usize].push(entry);
+        } else {
+            self.far.push(Reverse(entry));
+        }
+    }
+
+    /// Moves the cursor to `now`, appending every due entry to `out`.
+    fn advance(&mut self, now: u64, out: &mut Vec<WheelEntry>) {
+        if now <= self.cursor {
+            return;
+        }
+        let from = self.cursor;
+        self.cursor = now;
+        if !self.buckets.is_empty() {
+            if now - from >= WHEEL_SLOTS {
+                // Full revolution: every bucket's turn has come.
+                for bucket in &mut self.buckets {
+                    self.work += bucket.len() as u64;
+                    bucket.retain(|e| {
+                        if e.at <= now {
+                            out.push(*e);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            } else {
+                for t in from + 1..=now {
+                    let bucket = &mut self.buckets[(t % WHEEL_SLOTS) as usize];
+                    self.work += bucket.len() as u64;
+                    bucket.retain(|e| {
+                        if e.at <= now {
+                            out.push(*e);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+        }
+        // Pull far deadlines that are now within (or behind) the horizon.
+        while let Some(Reverse(head)) = self.far.peek() {
+            if head.at > now.saturating_add(WHEEL_SLOTS) {
+                break;
+            }
+            let Some(Reverse(e)) = self.far.pop() else {
+                break;
+            };
+            self.work += 1;
+            if e.at <= now {
+                out.push(e);
+            } else {
+                if self.buckets.is_empty() {
+                    self.buckets.resize_with(WHEEL_SLOTS as usize, Vec::new);
+                }
+                self.buckets[(e.at % WHEEL_SLOTS) as usize].push(e);
+            }
+        }
+    }
+}
 
 /// The store a region's primary owner maintains (and its secondary
 /// replicates): location records published into the region plus standing
 /// subscriptions watching areas that overlap it.
+///
+/// Equality is semantic — same live records (with stamps) and the same
+/// subscriptions, regardless of slot layout or index state.
 ///
 /// # Examples
 ///
@@ -23,10 +162,20 @@ use crate::NodeId;
 /// let q = LocationQuery::new(Region::new(0.0, 0.0, 10.0, 10.0), NodeId::new(1));
 /// assert_eq!(store.query(&q, 0).len(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RegionStore {
-    records: Vec<LocationRecord>,
-    subscriptions: Vec<Subscription>,
+    slots: Vec<Option<RecordSlot>>,
+    free_records: Vec<u32>,
+    by_id: HashMap<u64, u32>,
+    subs: Vec<Option<Subscription>>,
+    free_subs: Vec<u32>,
+    sub_by_key: HashMap<(NodeId, u64), u32>,
+    grid: Option<StoreGrid>,
+    clock: HlcClock,
+    wheel: ExpiryWheel,
+    /// Recycled scratch for drained wheel entries (zero steady-state
+    /// allocation on the publish path).
+    due_scratch: Vec<WheelEntry>,
 }
 
 impl RegionStore {
@@ -35,126 +184,578 @@ impl RegionStore {
         Self::default()
     }
 
+    /// Re-homes the store's HLC clock onto `node` (the owner's id), so
+    /// stamps minted here are totally ordered against every other owner's.
+    pub fn set_node(&mut self, node: u64) {
+        self.clock.set_node(node);
+    }
+
     /// Number of live records.
     pub fn record_count(&self) -> usize {
-        self.records.len()
+        self.by_id.len()
     }
 
     /// Number of live subscriptions.
     pub fn subscription_count(&self) -> usize {
-        self.subscriptions.len()
+        self.sub_by_key.len()
     }
 
     /// Whether the store holds nothing.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty() && self.subscriptions.is_empty()
+        self.by_id.is_empty() && self.sub_by_key.is_empty()
+    }
+
+    /// Total expiry-wheel entries examined over this store's lifetime.
+    /// The amortization contract: bounded by deadlines filed, independent
+    /// of how many publishes observe them.
+    pub fn expiry_work(&self) -> u64 {
+        self.wheel.work
+    }
+
+    /// The live record with `id`, if any.
+    pub fn get(&self, id: u64) -> Option<&LocationRecord> {
+        let slot = *self.by_id.get(&id)?;
+        self.slots[slot as usize].as_ref().map(|s| &s.record)
     }
 
     /// Publishes a record, returning the subscribers to notify (the
     /// pub-sub delivery of the paper's motivating examples). A re-publish
-    /// with the same id replaces the old record (content refresh).
+    /// with the same id replaces the old record in place (content
+    /// refresh); a record already expired at `now` still displaces any
+    /// older live version but is not stored.
     pub fn publish(&mut self, record: LocationRecord, now: u64) -> Vec<NodeId> {
-        self.expire(now);
-        let notified = self
-            .subscriptions
-            .iter()
-            .filter(|s| s.matches(record.position(), record.topic(), now))
-            .map(Subscription::subscriber)
-            .collect();
-        self.records.retain(|r| r.id() != record.id());
-        self.records.push(record);
+        let mut notified = Vec::new();
+        self.publish_into(record, now, &mut notified);
         notified
     }
 
+    /// [`Self::publish`] into a caller-recycled buffer. Subscribers are
+    /// appended in ascending node order (duplicates preserved: one entry
+    /// per matching subscription).
+    #[hot_path]
+    pub fn publish_into(&mut self, record: LocationRecord, now: u64, notified: &mut Vec<NodeId>) {
+        notified.clear();
+        self.advance(now);
+        self.notify_into(record.position(), record.topic(), now, notified);
+        if record.is_expired(now) {
+            self.remove_record_by_id(record.id());
+            return;
+        }
+        let stamp = self.clock.tick(now);
+        let pos = record.position();
+        self.store_record(record, stamp);
+        self.ensure_indexed(pos);
+    }
+
+    /// Appends the subscribers matching a publication at `pos`/`topic` to
+    /// `out`, consulting only the position's grid bucket when indexed.
+    #[hot_path]
+    fn notify_into(&self, pos: Point, topic: &str, now: u64, out: &mut Vec<NodeId>) {
+        match &self.grid {
+            Some(grid) => {
+                for &slot in grid.subs_at(pos) {
+                    if let Some(sub) = &self.subs[slot as usize] {
+                        if sub.matches(pos, topic, now) {
+                            out.push(sub.subscriber());
+                        }
+                    }
+                }
+            }
+            None => {
+                for sub in self.subs.iter().flatten() {
+                    if sub.matches(pos, topic, now) {
+                        out.push(sub.subscriber());
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+    }
+
     /// Answers a location query: all live records in the query area that
-    /// pass the topic filter.
+    /// pass the topic filter, in ascending id order.
     pub fn query(&self, query: &LocationQuery, now: u64) -> Vec<&LocationRecord> {
-        self.records
-            .iter()
-            .filter(|r| !r.is_expired(now) && query.matches(r.position(), r.topic()))
-            .collect()
+        let mut out = Vec::new();
+        match &self.grid {
+            Some(grid) => {
+                let area = query.area();
+                let (c0, c1, r0, r1) = grid.span(&area);
+                for row in r0..=r1 {
+                    for col in c0..=c1 {
+                        for &slot in grid.records_in(row * STORE_GRID_DIM + col) {
+                            if let Some(s) = &self.slots[slot as usize] {
+                                let r = &s.record;
+                                if !r.is_expired(now) && query.matches(r.position(), r.topic()) {
+                                    out.push(r);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for s in self.slots.iter().flatten() {
+                    let r = &s.record;
+                    if !r.is_expired(now) && query.matches(r.position(), r.topic()) {
+                        out.push(r);
+                    }
+                }
+            }
+        }
+        out.sort_unstable_by_key(|r| r.id());
+        out
+    }
+
+    /// [`Self::query`] into a caller-recycled id buffer (ascending), the
+    /// zero-allocation form for update-heavy drivers.
+    #[hot_path]
+    pub fn query_ids_into(&self, query: &LocationQuery, now: u64, out: &mut Vec<u64>) {
+        out.clear();
+        match &self.grid {
+            Some(grid) => {
+                let area = query.area();
+                let (c0, c1, r0, r1) = grid.span(&area);
+                for row in r0..=r1 {
+                    for col in c0..=c1 {
+                        for &slot in grid.records_in(row * STORE_GRID_DIM + col) {
+                            if let Some(s) = &self.slots[slot as usize] {
+                                let r = &s.record;
+                                if !r.is_expired(now) && query.matches(r.position(), r.topic()) {
+                                    out.push(r.id());
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            None => {
+                for s in self.slots.iter().flatten() {
+                    let r = &s.record;
+                    if !r.is_expired(now) && query.matches(r.position(), r.topic()) {
+                        out.push(r.id());
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
     }
 
     /// Registers a subscription. A subscription with the same
-    /// (subscriber, id) replaces the old one (renewal).
+    /// (subscriber, id) replaces the old one (renewal); one already
+    /// expired at `now` cancels any existing registration.
     pub fn subscribe(&mut self, sub: Subscription, now: u64) {
-        self.expire(now);
-        self.subscriptions
-            .retain(|s| !(s.id() == sub.id() && s.subscriber() == sub.subscriber()));
-        self.subscriptions.push(sub);
+        self.advance(now);
+        if sub.is_expired(now) {
+            self.unsubscribe(sub.subscriber(), sub.id());
+            return;
+        }
+        self.store_sub(sub);
+        self.maybe_build_index();
     }
 
     /// Cancels a subscription; returns whether it existed.
     pub fn unsubscribe(&mut self, subscriber: NodeId, id: u64) -> bool {
-        let before = self.subscriptions.len();
-        self.subscriptions
-            .retain(|s| !(s.id() == id && s.subscriber() == subscriber));
-        self.subscriptions.len() != before
+        match self.sub_by_key.get(&(subscriber, id)).copied() {
+            Some(slot) => {
+                self.evict_sub(slot);
+                true
+            }
+            None => false,
+        }
     }
 
-    /// Drops expired records and subscriptions.
+    /// Drops expired records and subscriptions up to tick `now`
+    /// (amortized: examines only entries whose deadline has arrived).
     pub fn expire(&mut self, now: u64) {
-        self.records.retain(|r| !r.is_expired(now));
-        self.subscriptions.retain(|s| !s.is_expired(now));
+        self.advance(now);
     }
 
-    /// Splits the store for a region split: entries whose position/area
-    /// belongs to `other_half` move to the returned store. Subscriptions
+    /// Splits the store for a region split: records positioned in
+    /// `other_half` move to the returned store. Subscriptions
     /// overlapping **both** halves are duplicated into both stores so no
-    /// publication is missed.
+    /// publication is missed. The new store inherits this store's clock
+    /// (causality carries across the split).
     pub fn split_for(&mut self, own_half: &Region, other_half: &Region) -> RegionStore {
         let mut other = RegionStore::new();
-        let mut kept = Vec::new();
-        for r in self.records.drain(..) {
-            // Half-open containment: each position lands in exactly one half.
-            if other_half.contains(r.position()) {
-                other.records.push(r);
-            } else {
-                kept.push(r);
+        other.clock = self.clock.clone();
+        other.wheel.cursor = self.wheel.cursor;
+        for slot in 0..self.slots.len() as u32 {
+            let belongs = match &self.slots[slot as usize] {
+                // Half-open containment: each position lands in exactly one half.
+                Some(s) => other_half.contains(s.record.position()),
+                None => false,
+            };
+            if belongs {
+                if let Some(s) = self.slots[slot as usize].take() {
+                    self.by_id.remove(&s.record.id());
+                    if let Some(grid) = self.grid.as_mut() {
+                        grid.remove_record(slot, s.record.position());
+                    }
+                    self.free_records.push(slot);
+                    other.insert_replica(s.record, s.stamp);
+                }
             }
         }
-        self.records = kept;
-        let mut kept_subs = Vec::new();
-        for s in self.subscriptions.drain(..) {
-            let in_other = s.area().intersects(other_half);
-            let in_own = s.area().intersects(own_half);
-            if in_other {
-                other.subscriptions.push(s.clone());
+        for slot in 0..self.subs.len() as u32 {
+            let (give, keep) = match &self.subs[slot as usize] {
+                Some(s) => {
+                    let in_other = s.area().intersects(other_half);
+                    let in_own = s.area().intersects(own_half);
+                    (in_other, in_own || !in_other)
+                }
+                None => (false, true),
+            };
+            if give {
+                if let Some(s) = &self.subs[slot as usize] {
+                    other.insert_sub_replica(s.clone());
+                }
             }
-            if in_own || !in_other {
-                kept_subs.push(s);
+            if !keep {
+                self.evict_sub(slot);
             }
         }
-        self.subscriptions = kept_subs;
         other
     }
 
     /// Absorbs another store (region merge / fail-over replica
-    /// activation). Identical subscriptions collapse.
+    /// activation). Duplicate record ids resolve by HLC stamp — the
+    /// larger stamp wins, the incoming record wins an exact tie.
+    /// Duplicate subscriptions keep whichever expires later.
     pub fn absorb(&mut self, other: RegionStore) {
-        for r in other.records {
-            self.records.retain(|x| x.id() != r.id());
-            self.records.push(r);
+        // Catch up to the absorbed store's clock before merging, so both
+        // sides agree on which deadlines have already passed.
+        self.advance(other.wheel.cursor);
+        for s in other.slots.into_iter().flatten() {
+            self.insert_replica(s.record, s.stamp);
         }
-        for s in other.subscriptions {
-            if !self
-                .subscriptions
-                .iter()
-                .any(|x| x.id() == s.id() && x.subscriber() == s.subscriber())
-            {
-                self.subscriptions.push(s);
+        for s in other.subs.into_iter().flatten() {
+            self.insert_sub_replica(s);
+        }
+    }
+
+    /// Installs a replicated record with its original stamp (wire
+    /// hand-off, split, merge). Last-write-wins against any existing
+    /// record with the same id; the store's clock observes the stamp so
+    /// future local writes order after it.
+    pub fn insert_replica(&mut self, record: LocationRecord, stamp: Hlc) {
+        self.clock.observe(stamp);
+        let keep_existing = match self.by_id.get(&record.id()) {
+            Some(&slot) => match &self.slots[slot as usize] {
+                Some(existing) => existing.stamp > stamp,
+                None => false,
+            },
+            None => false,
+        };
+        if keep_existing {
+            return;
+        }
+        let pos = record.position();
+        self.store_record(record, stamp);
+        self.ensure_indexed(pos);
+    }
+
+    /// Installs a replicated subscription. On a (subscriber, id)
+    /// collision the later-expiring registration survives (ties keep the
+    /// existing one).
+    pub fn insert_sub_replica(&mut self, sub: Subscription) {
+        let key = (sub.subscriber(), sub.id());
+        if let Some(&slot) = self.sub_by_key.get(&key) {
+            if let Some(existing) = &self.subs[slot as usize] {
+                if existing.expires_at() >= sub.expires_at() {
+                    return;
+                }
+            }
+        }
+        self.store_sub(sub);
+        self.maybe_build_index();
+    }
+
+    /// Read-only view of live records (for replication).
+    pub fn records(&self) -> impl Iterator<Item = &LocationRecord> {
+        self.slots.iter().flatten().map(|s| &s.record)
+    }
+
+    /// Live records with their publish stamps (for wire hand-off: stamps
+    /// must survive replication for last-write-wins to stay coherent).
+    pub fn records_with_stamps(&self) -> impl Iterator<Item = (&LocationRecord, Hlc)> {
+        self.slots.iter().flatten().map(|s| (&s.record, s.stamp))
+    }
+
+    /// Read-only view of subscriptions (for replication).
+    pub fn subscriptions(&self) -> impl Iterator<Item = &Subscription> {
+        self.subs.iter().flatten()
+    }
+
+    /// Drains every deadline due at `now` and evicts the entries that
+    /// still hold it (renewed or reused slots validate stale and are
+    /// skipped).
+    fn advance(&mut self, now: u64) {
+        if now <= self.wheel.cursor {
+            return;
+        }
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        self.wheel.advance(now, &mut due);
+        for e in due.drain(..) {
+            match e.kind {
+                EntryKind::Record => {
+                    let held = match &self.slots[e.slot as usize] {
+                        Some(s) => s.record.expires_at() == Some(e.at),
+                        None => false,
+                    };
+                    if held {
+                        self.evict_record(e.slot);
+                    }
+                }
+                EntryKind::Sub => {
+                    let held = match &self.subs[e.slot as usize] {
+                        Some(s) => s.expires_at() == e.at,
+                        None => false,
+                    };
+                    if held {
+                        self.evict_sub(e.slot);
+                    }
+                }
+            }
+        }
+        self.due_scratch = due;
+    }
+
+    fn evict_record(&mut self, slot: u32) {
+        if let Some(s) = self.slots[slot as usize].take() {
+            self.by_id.remove(&s.record.id());
+            if let Some(grid) = self.grid.as_mut() {
+                grid.remove_record(slot, s.record.position());
+            }
+            self.free_records.push(slot);
+        }
+    }
+
+    fn evict_sub(&mut self, slot: u32) {
+        if let Some(s) = self.subs[slot as usize].take() {
+            self.sub_by_key.remove(&(s.subscriber(), s.id()));
+            if let Some(grid) = self.grid.as_mut() {
+                grid.remove_sub(slot, &s.area());
+            }
+            self.free_subs.push(slot);
+        }
+    }
+
+    fn remove_record_by_id(&mut self, id: u64) {
+        if let Some(slot) = self.by_id.get(&id).copied() {
+            self.evict_record(slot);
+        }
+    }
+
+    /// Upserts a record into its slot: O(1) overwrite on re-publish, slab
+    /// allocation (free list first) for a new id.
+    fn store_record(&mut self, record: LocationRecord, stamp: Hlc) {
+        let id = record.id();
+        let pos = record.position();
+        let expires = record.expires_at();
+        let (slot, needs_schedule) = match self.by_id.get(&id).copied() {
+            Some(slot) => {
+                let prev = self.slots[slot as usize].replace(RecordSlot { record, stamp });
+                let mut needs_schedule = expires.is_some();
+                if let Some(prev) = prev {
+                    if let Some(grid) = self.grid.as_mut() {
+                        grid.move_record(slot, prev.record.position(), pos);
+                    }
+                    // An unchanged deadline already has a pending wheel
+                    // entry; refiling it would pile up duplicates under
+                    // renewal-heavy streams.
+                    needs_schedule &= prev.record.expires_at() != expires;
+                }
+                (slot, needs_schedule)
+            }
+            None => {
+                let slot = match self.free_records.pop() {
+                    Some(s) => {
+                        self.slots[s as usize] = Some(RecordSlot { record, stamp });
+                        s
+                    }
+                    None => {
+                        let s = self.slots.len() as u32;
+                        self.slots.push(Some(RecordSlot { record, stamp }));
+                        s
+                    }
+                };
+                self.by_id.insert(id, slot);
+                if let Some(grid) = self.grid.as_mut() {
+                    grid.insert_record(slot, pos);
+                }
+                (slot, expires.is_some())
+            }
+        };
+        if needs_schedule {
+            if let Some(at) = expires {
+                self.wheel.schedule(at, EntryKind::Record, slot);
             }
         }
     }
 
-    /// Read-only view of live records (for replication).
-    pub fn records(&self) -> &[LocationRecord] {
-        &self.records
+    /// Upserts a subscription into its slot (renewal re-files the
+    /// watched area in the grid).
+    fn store_sub(&mut self, sub: Subscription) {
+        let key = (sub.subscriber(), sub.id());
+        let expires = sub.expires_at();
+        let area = sub.area();
+        let (slot, needs_schedule) = match self.sub_by_key.get(&key).copied() {
+            Some(slot) => {
+                let prev = self.subs[slot as usize].replace(sub);
+                let mut needs_schedule = true;
+                if let Some(prev) = prev {
+                    if let Some(grid) = self.grid.as_mut() {
+                        grid.remove_sub(slot, &prev.area());
+                    }
+                    needs_schedule = prev.expires_at() != expires;
+                }
+                if let Some(grid) = self.grid.as_mut() {
+                    grid.insert_sub(slot, &area);
+                }
+                (slot, needs_schedule)
+            }
+            None => {
+                let slot = match self.free_subs.pop() {
+                    Some(s) => {
+                        self.subs[s as usize] = Some(sub);
+                        s
+                    }
+                    None => {
+                        let s = self.subs.len() as u32;
+                        self.subs.push(Some(sub));
+                        s
+                    }
+                };
+                self.sub_by_key.insert(key, slot);
+                if let Some(grid) = self.grid.as_mut() {
+                    grid.insert_sub(slot, &area);
+                }
+                (slot, true)
+            }
+        };
+        if needs_schedule {
+            self.wheel.schedule(expires, EntryKind::Sub, slot);
+        }
     }
 
-    /// Read-only view of subscriptions (for replication).
-    pub fn subscriptions(&self) -> &[Subscription] {
-        &self.subscriptions
+    /// Builds the grid once the store is large enough, and rebuilds it
+    /// with grown bounds when a record lands outside the covered
+    /// rectangle. Clamped filings are correct either way (inserts and
+    /// probes clamp identically); rebuilding restores selectivity.
+    fn ensure_indexed(&mut self, pos: Point) {
+        match &self.grid {
+            None => self.maybe_build_index(),
+            Some(grid) => {
+                if !grid.covers(pos) {
+                    self.build_grid();
+                }
+            }
+        }
+    }
+
+    fn maybe_build_index(&mut self) {
+        if self.grid.is_none() && self.by_id.len() + self.sub_by_key.len() > INDEX_THRESHOLD {
+            self.build_grid();
+        }
+    }
+
+    fn build_grid(&mut self) {
+        let bounds = self.learned_bounds();
+        let mut grid = StoreGrid::new(bounds);
+        for (i, s) in self.slots.iter().enumerate() {
+            if let Some(s) = s {
+                grid.insert_record(i as u32, s.record.position());
+            }
+        }
+        for (i, s) in self.subs.iter().enumerate() {
+            if let Some(s) = s {
+                grid.insert_sub(i as u32, &s.area());
+            }
+        }
+        self.grid = Some(grid);
+    }
+
+    /// Bounds for a (re)build: the bounding box of live record positions
+    /// (falling back to subscription areas), doubled around its center so
+    /// nearby movement doesn't trigger immediate rebuilds, then unioned
+    /// with any previous bounds so growth is monotone (at most
+    /// O(log extent) rebuilds ever).
+    fn learned_bounds(&self) -> Region {
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for s in self.slots.iter().flatten() {
+            let p = s.record.position();
+            min_x = min_x.min(p.x);
+            min_y = min_y.min(p.y);
+            max_x = max_x.max(p.x);
+            max_y = max_y.max(p.y);
+        }
+        if min_x > max_x {
+            for s in self.subs.iter().flatten() {
+                let a = s.area();
+                min_x = min_x.min(a.x());
+                min_y = min_y.min(a.y());
+                max_x = max_x.max(a.east());
+                max_y = max_y.max(a.north());
+            }
+        }
+        if min_x > max_x {
+            return Region::new(0.0, 0.0, 1.0, 1.0);
+        }
+        let w = (max_x - min_x).max(1.0);
+        let h = (max_y - min_y).max(1.0);
+        let grown = Region::new(min_x - w / 2.0, min_y - h / 2.0, w * 2.0, h * 2.0);
+        match &self.grid {
+            Some(grid) => {
+                let old = grid.bounds();
+                let x = grown.x().min(old.x());
+                let y = grown.y().min(old.y());
+                let east = grown.east().max(old.east());
+                let north = grown.north().max(old.north());
+                Region::new(x, y, east - x, north - y)
+            }
+            None => grown,
+        }
+    }
+}
+
+/// Semantic equality: same live records (including stamps) and the same
+/// subscriptions, independent of slot layout, free lists, or index
+/// state.
+impl PartialEq for RegionStore {
+    fn eq(&self, other: &Self) -> bool {
+        if self.by_id.len() != other.by_id.len() || self.sub_by_key.len() != other.sub_by_key.len()
+        {
+            return false;
+        }
+        for s in self.slots.iter().flatten() {
+            let matched = match other.by_id.get(&s.record.id()) {
+                Some(&slot) => match &other.slots[slot as usize] {
+                    Some(o) => o.record == s.record && o.stamp == s.stamp,
+                    None => false,
+                },
+                None => false,
+            };
+            if !matched {
+                return false;
+            }
+        }
+        for s in self.subs.iter().flatten() {
+            let matched = match other.sub_by_key.get(&(s.subscriber(), s.id())) {
+                Some(&slot) => match &other.subs[slot as usize] {
+                    Some(o) => o == s,
+                    None => false,
+                },
+                None => false,
+            };
+            if !matched {
+                return false;
+            }
+        }
+        true
     }
 }
 
@@ -163,8 +764,8 @@ impl fmt::Display for RegionStore {
         write!(
             f,
             "store: {} records, {} subscriptions",
-            self.records.len(),
-            self.subscriptions.len()
+            self.record_count(),
+            self.subscription_count()
         )
     }
 }
@@ -204,7 +805,10 @@ mod tests {
         store.publish(record(1, 1.0, 1.0, "t"), 0);
         store.publish(record(1, 2.0, 2.0, "t"), 0);
         assert_eq!(store.record_count(), 1);
-        assert_eq!(store.records()[0].position(), Point::new(2.0, 2.0));
+        assert_eq!(
+            store.records().next().map(LocationRecord::position),
+            Some(Point::new(2.0, 2.0))
+        );
     }
 
     #[test]
@@ -275,5 +879,137 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.record_count(), 2);
         assert_eq!(a.subscription_count(), 1);
+    }
+
+    #[test]
+    fn absorb_resolves_duplicate_ids_by_hlc() {
+        let mut a = RegionStore::new();
+        a.set_node(1);
+        let mut b = RegionStore::new();
+        b.set_node(2);
+        a.publish(record(1, 1.0, 1.0, "t"), 5); // stamp (5, 0, n1)
+        b.publish(record(1, 2.0, 2.0, "t"), 3); // stamp (3, 0, n2): older write
+        a.absorb(b);
+        assert_eq!(
+            a.get(1).map(LocationRecord::position),
+            Some(Point::new(1.0, 1.0))
+        );
+        // Absorbing pulls the clock forward: a later local write at a
+        // stalled tick still out-stamps the absorbed record.
+        let mut c = RegionStore::new();
+        c.set_node(3);
+        c.publish(record(2, 0.0, 0.0, "t"), 9); // stamp (9, 0, n3)
+        a.absorb(c);
+        a.publish(record(2, 5.0, 5.0, "t"), 0); // local tick stalled at 0
+        assert_eq!(
+            a.get(2).map(LocationRecord::position),
+            Some(Point::new(5.0, 5.0))
+        );
+    }
+
+    #[test]
+    fn expired_on_arrival_publish_tombstones_the_old_version() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "t"), 0);
+        store.publish(record(1, 2.0, 2.0, "t").with_expiry(5), 10);
+        assert_eq!(store.record_count(), 0);
+    }
+
+    #[test]
+    fn expiry_work_is_amortized_across_publishes() {
+        let mut store = RegionStore::new();
+        let m = 500u64;
+        for i in 0..m {
+            store.publish(record(i, 1.0, 1.0, "t").with_expiry(10), 0);
+        }
+        let n = 500u64;
+        for i in 0..n {
+            store.publish(record(m + i, 2.0, 2.0, "t"), 11 + i);
+        }
+        assert_eq!(store.record_count(), n as usize);
+        // Each of the M expired deadlines is examined once when the clock
+        // first passes it — not once per subsequent publish (the old
+        // per-publish sweep was O(N·M) here).
+        assert!(
+            store.expiry_work() <= m + 4 * n,
+            "expiry work {} is not amortized",
+            store.expiry_work()
+        );
+    }
+
+    #[test]
+    fn far_future_expiries_migrate_through_the_wheel() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "t").with_expiry(10_000), 0);
+        store.subscribe(
+            Subscription::new(1, Region::new(0.0, 0.0, 4.0, 4.0), NodeId::new(1), 500),
+            0,
+        );
+        store.expire(400);
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(store.subscription_count(), 1);
+        store.expire(9_999);
+        assert_eq!(store.record_count(), 1);
+        assert_eq!(store.subscription_count(), 0);
+        store.expire(10_000);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn renewal_outruns_the_old_deadline() {
+        let mut store = RegionStore::new();
+        store.publish(record(1, 1.0, 1.0, "t").with_expiry(5), 0);
+        store.publish(record(1, 1.0, 1.0, "t").with_expiry(50), 1);
+        store.expire(10); // the superseded deadline must validate stale
+        assert_eq!(store.record_count(), 1);
+        store.expire(50);
+        assert_eq!(store.record_count(), 0);
+    }
+
+    #[test]
+    fn indexed_store_matches_linear_semantics() {
+        let mut store = RegionStore::new();
+        for i in 0..400u64 {
+            store.publish(record(i, (i % 20) as f64, (i / 20) as f64, "t"), 0);
+        }
+        assert_eq!(store.record_count(), 400);
+        let q = LocationQuery::new(Region::new(0.0, 0.0, 5.0, 5.0), NodeId::new(1));
+        assert_eq!(store.query(&q, 1).len(), 36); // closed edges: 6×6 lattice points
+                                                  // Fan-out through the bucket index.
+        store.subscribe(
+            Subscription::new(1, Region::new(3.0, 3.0, 2.0, 2.0), NodeId::new(9), 100),
+            0,
+        );
+        let notified = store.publish(record(1000, 4.0, 4.0, "t"), 1);
+        assert_eq!(notified, vec![NodeId::new(9)]);
+        let notified = store.publish(record(1001, 15.0, 15.0, "t"), 1);
+        assert!(notified.is_empty());
+        // Zero-allocation query path agrees with the allocating one.
+        let mut ids = Vec::new();
+        store.query_ids_into(&q, 1, &mut ids);
+        let expected: Vec<u64> = store.query(&q, 1).iter().map(|r| r.id()).collect();
+        assert_eq!(ids, expected);
+    }
+
+    #[test]
+    fn semantic_equality_ignores_slot_layout() {
+        let mut a = RegionStore::new();
+        let mut b = RegionStore::new();
+        a.publish(record(1, 1.0, 1.0, "t"), 0);
+        a.publish(record(2, 2.0, 2.0, "t"), 0);
+        // Same content, different slot order and churn history.
+        b.publish(record(9, 9.0, 9.0, "t"), 0);
+        b.publish(record(2, 2.0, 2.0, "t"), 0);
+        b.publish(record(9, 9.0, 9.0, "t").with_expiry(1), 2); // tombstone id 9
+        b.publish(record(1, 1.0, 1.0, "t"), 0);
+        // Stamps differ (different publish histories), so install a's
+        // stamped records verbatim into a fresh store instead.
+        let mut c = RegionStore::new();
+        for (r, stamp) in a.records_with_stamps() {
+            c.insert_replica(r.clone(), stamp);
+        }
+        assert_eq!(a, c);
+        assert_ne!(a, b); // same ids for 1 and 2 but different stamps
+        assert_eq!(b.record_count(), 2);
     }
 }

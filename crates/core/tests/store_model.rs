@@ -1,0 +1,459 @@
+//! Property test: the production [`RegionStore`] agrees op-for-op with a
+//! naive `Vec`-scan reference model.
+//!
+//! The harness maintains a set of **shards** — (region, store) pairs
+//! tiling the 64×64 space, exactly like region owners in the engine —
+//! next to a reference model holding plain `Vec`s per shard. Every
+//! operation is applied to both sides and the observable outputs are
+//! compared:
+//!
+//! * `publish` → the notified subscriber list (sorted, duplicates kept);
+//! * `query` → the matching record ids, per shard;
+//! * `unsubscribe` → the "did it exist" bool, per shard;
+//! * after **every** op → per-shard live record and subscription sets
+//!   (full field equality), so split/merge hand-off provably preserves
+//!   every live record and subscription exactly once.
+//!
+//! The model resolves merge-time duplicate ids by publish sequence
+//! (ticks are strictly increasing, so HLC order coincides with publish
+//! order), and prunes expiry lazily at comparison time — the store's
+//! wheel may sweep earlier or later, but live content at the current
+//! tick must match exactly.
+
+use geogrid_core::service::{LocationQuery, LocationRecord, RegionStore, Subscription};
+use geogrid_core::NodeId;
+use geogrid_geometry::{Point, Region, SplitAxis};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Publish {
+        id: u64,
+        x: f64,
+        y: f64,
+        topic: u8,
+        expiry: Option<u8>,
+    },
+    Query {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        topic: Option<u8>,
+    },
+    Subscribe {
+        id: u64,
+        subscriber: u64,
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+        topic: Option<u8>,
+        ttl: u8,
+    },
+    Unsubscribe {
+        subscriber: u64,
+        id: u64,
+    },
+    Expire,
+    Split {
+        shard: usize,
+        horizontal: bool,
+    },
+    Merge {
+        a: usize,
+        b: usize,
+    },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    let coord = 0.0..63.9f64;
+    let extent = 0.5..20.0f64;
+    prop_oneof![
+        (
+            0..8u64,
+            coord.clone(),
+            coord.clone(),
+            0..3u8,
+            proptest::option::of(0..40u8)
+        )
+            .prop_map(|(id, x, y, topic, expiry)| Op::Publish {
+                id,
+                x,
+                y,
+                topic,
+                expiry
+            }),
+        (
+            coord.clone(),
+            coord.clone(),
+            extent.clone(),
+            extent.clone(),
+            proptest::option::of(0..3u8)
+        )
+            .prop_map(|(x, y, w, h, topic)| Op::Query { x, y, w, h, topic }),
+        (
+            0..4u64,
+            0..4u64,
+            coord.clone(),
+            coord.clone(),
+            extent.clone(),
+            extent,
+            proptest::option::of(0..3u8),
+            1..60u8
+        )
+            .prop_map(|(id, subscriber, x, y, w, h, topic, ttl)| Op::Subscribe {
+                id,
+                subscriber,
+                x,
+                y,
+                w,
+                h,
+                topic,
+                ttl,
+            }),
+        (0..4u64, 0..4u64).prop_map(|(subscriber, id)| Op::Unsubscribe { subscriber, id }),
+        Just(Op::Expire),
+        (any::<usize>(), any::<bool>())
+            .prop_map(|(shard, horizontal)| Op::Split { shard, horizontal }),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Op::Merge { a, b }),
+    ]
+}
+
+fn topic_name(t: u8) -> String {
+    format!("t{t}")
+}
+
+/// One reference shard: plain `Vec`s, linear scans, publish-sequence
+/// numbers standing in for HLC stamps.
+#[derive(Debug, Clone)]
+struct ModelShard {
+    region: Region,
+    records: Vec<(LocationRecord, u64)>,
+    subs: Vec<Subscription>,
+}
+
+impl ModelShard {
+    fn upsert_record(&mut self, record: LocationRecord, seq: u64) {
+        self.records.retain(|(r, _)| r.id() != record.id());
+        self.records.push((record, seq));
+    }
+
+    fn upsert_sub(&mut self, sub: Subscription) {
+        self.subs
+            .retain(|s| !(s.id() == sub.id() && s.subscriber() == sub.subscriber()));
+        self.subs.push(sub);
+    }
+
+    fn remove_sub(&mut self, subscriber: NodeId, id: u64) -> bool {
+        let before = self.subs.len();
+        self.subs
+            .retain(|s| !(s.id() == id && s.subscriber() == subscriber));
+        self.subs.len() != before
+    }
+}
+
+type RecordKey = (u64, u64, u64, String, Vec<u8>, Option<u64>);
+type SubKey = (u64, u64, u64, u64, u64, u64, u64, Option<String>);
+
+fn record_key(r: &LocationRecord) -> RecordKey {
+    (
+        r.id(),
+        r.position().x.to_bits(),
+        r.position().y.to_bits(),
+        r.topic().to_string(),
+        r.payload().to_vec(),
+        r.expires_at(),
+    )
+}
+
+fn sub_key(s: &Subscription) -> SubKey {
+    (
+        s.subscriber().as_u64(),
+        s.id(),
+        s.expires_at(),
+        s.area().x().to_bits(),
+        s.area().y().to_bits(),
+        s.area().width().to_bits(),
+        s.area().height().to_bits(),
+        s.topic().map(str::to_string),
+    )
+}
+
+/// Per-shard live content must match the model exactly (expired entries
+/// the wheel has not swept yet are invisible; the model prunes lazily).
+fn check_shards(
+    stores: &[RegionStore],
+    model: &[ModelShard],
+    now: u64,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(stores.len(), model.len());
+    for (i, (store, shard)) in stores.iter().zip(model).enumerate() {
+        let mut got: Vec<RecordKey> = store
+            .records()
+            .filter(|r| !r.is_expired(now))
+            .map(record_key)
+            .collect();
+        got.sort();
+        let mut want: Vec<RecordKey> = shard
+            .records
+            .iter()
+            .filter(|(r, _)| !r.is_expired(now))
+            .map(|(r, _)| record_key(r))
+            .collect();
+        want.sort();
+        prop_assert_eq!(&got, &want, "record mismatch in shard {} at t={}", i, now);
+
+        let mut got: Vec<SubKey> = store
+            .subscriptions()
+            .filter(|s| !s.is_expired(now))
+            .map(sub_key)
+            .collect();
+        got.sort();
+        let mut want: Vec<SubKey> = shard
+            .subs
+            .iter()
+            .filter(|s| !s.is_expired(now))
+            .map(sub_key)
+            .collect();
+        want.sort();
+        prop_assert_eq!(
+            &got,
+            &want,
+            "subscription mismatch in shard {} at t={}",
+            i,
+            now
+        );
+    }
+    Ok(())
+}
+
+fn run_ops(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let space = Region::new(0.0, 0.0, 64.0, 64.0);
+    let mut stores = vec![RegionStore::new()];
+    stores[0].set_node(1);
+    let mut model = vec![ModelShard {
+        region: space,
+        records: Vec::new(),
+        subs: Vec::new(),
+    }];
+    let mut now = 0u64;
+
+    for op in ops {
+        // Strictly increasing ticks: publish order and HLC order coincide,
+        // so the model's sequence numbers predict every LWW resolution.
+        now += 1;
+        match op {
+            Op::Publish {
+                id,
+                x,
+                y,
+                topic,
+                expiry,
+            } => {
+                let pos = Point::new(x, y);
+                let mut record = LocationRecord::new(id, topic_name(topic), pos, vec![id as u8]);
+                if let Some(e) = expiry {
+                    record = record.with_expiry(now + e as u64);
+                }
+                // Exactly one shard covers the position (half-open tiling).
+                let i = model
+                    .iter()
+                    .position(|s| s.region.contains(pos))
+                    .expect("shards tile the space");
+                let notified = stores[i].publish(record.clone(), now);
+                let mut want: Vec<NodeId> = model[i]
+                    .subs
+                    .iter()
+                    .filter(|s| s.matches(pos, record.topic(), now))
+                    .map(Subscription::subscriber)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(notified, want, "notify mismatch at t={}", now);
+                if record.is_expired(now) {
+                    model[i].records.retain(|(r, _)| r.id() != id);
+                } else {
+                    model[i].upsert_record(record, now);
+                }
+            }
+            Op::Query { x, y, w, h, topic } => {
+                let mut q = LocationQuery::new(Region::new(x, y, w, h), NodeId::new(99));
+                if let Some(t) = topic {
+                    q = q.with_topic(topic_name(t));
+                }
+                for (store, shard) in stores.iter().zip(&model) {
+                    let got: Vec<u64> = store.query(&q, now).iter().map(|r| r.id()).collect();
+                    let mut want: Vec<u64> = shard
+                        .records
+                        .iter()
+                        .filter(|(r, _)| !r.is_expired(now) && q.matches(r.position(), r.topic()))
+                        .map(|(r, _)| r.id())
+                        .collect();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want, "query mismatch at t={}", now);
+                }
+            }
+            Op::Subscribe {
+                id,
+                subscriber,
+                x,
+                y,
+                w,
+                h,
+                topic,
+                ttl,
+            } => {
+                let mut sub = Subscription::new(
+                    id,
+                    Region::new(x, y, w, h),
+                    NodeId::new(subscriber),
+                    now + ttl as u64,
+                );
+                if let Some(t) = topic {
+                    sub = sub.with_topic(topic_name(t));
+                }
+                // Flooded to every overlapping shard, like the engine.
+                for (store, shard) in stores.iter_mut().zip(&mut model) {
+                    if sub.area().intersects(&shard.region) {
+                        store.subscribe(sub.clone(), now);
+                        if sub.is_expired(now) {
+                            shard.remove_sub(sub.subscriber(), sub.id());
+                        } else {
+                            shard.upsert_sub(sub.clone());
+                        }
+                    }
+                }
+            }
+            Op::Unsubscribe { subscriber, id } => {
+                for (store, shard) in stores.iter_mut().zip(&mut model) {
+                    let was_live = shard.subs.iter().any(|s| {
+                        s.id() == id
+                            && s.subscriber() == NodeId::new(subscriber)
+                            && !s.is_expired(now)
+                    });
+                    let had_any = shard.remove_sub(NodeId::new(subscriber), id);
+                    let got = store.unsubscribe(NodeId::new(subscriber), id);
+                    // The bool is only well-defined for live subscriptions:
+                    // an expired one may or may not have been swept already,
+                    // so the store is free to answer either way there.
+                    if was_live {
+                        prop_assert!(got, "live unsubscribe returned false at t={}", now);
+                    } else if !had_any {
+                        prop_assert!(!got, "phantom unsubscribe returned true at t={}", now);
+                    }
+                }
+            }
+            Op::Expire => {
+                for store in &mut stores {
+                    store.expire(now);
+                }
+            }
+            Op::Split { shard, horizontal } => {
+                let i = shard % stores.len();
+                let region = model[i].region;
+                if region.width() < 1.0 || region.height() < 1.0 {
+                    continue; // at the extent floor: refuse, like the engine
+                }
+                let axis = if horizontal {
+                    SplitAxis::Latitude
+                } else {
+                    SplitAxis::Longitude
+                };
+                let (own, other) = region.split(axis);
+                let new_store = stores[i].split_for(&own, &other);
+                stores.push(new_store);
+                // Model: records partition by position; subscriptions
+                // duplicate into every half they overlap.
+                let old = std::mem::replace(
+                    &mut model[i],
+                    ModelShard {
+                        region: own,
+                        records: Vec::new(),
+                        subs: Vec::new(),
+                    },
+                );
+                let mut new_shard = ModelShard {
+                    region: other,
+                    records: Vec::new(),
+                    subs: Vec::new(),
+                };
+                for (r, seq) in old.records {
+                    if other.contains(r.position()) {
+                        new_shard.records.push((r, seq));
+                    } else {
+                        model[i].records.push((r, seq));
+                    }
+                }
+                for s in old.subs {
+                    let in_other = s.area().intersects(&other);
+                    let in_own = s.area().intersects(&own);
+                    if in_other {
+                        new_shard.subs.push(s.clone());
+                    }
+                    if in_own || !in_other {
+                        model[i].subs.push(s);
+                    }
+                }
+                model.push(new_shard);
+            }
+            Op::Merge { a, b } => {
+                if stores.len() < 2 {
+                    continue;
+                }
+                let ia = a % stores.len();
+                let ib = b % stores.len();
+                if ia == ib {
+                    continue;
+                }
+                let Some(merged) = model[ia].region.merge(&model[ib].region) else {
+                    continue; // not adjacent same-extent rectangles
+                };
+                let absorbed_store = stores.swap_remove(ib);
+                let absorbed_model = model.swap_remove(ib);
+                // swap_remove may have moved shard `ia`.
+                let ia = if ia == stores.len() { ib } else { ia };
+                stores[ia].absorb(absorbed_store);
+                model[ia].region = merged;
+                for (r, seq) in absorbed_model.records {
+                    match model[ia].records.iter_mut().find(|(x, _)| x.id() == r.id()) {
+                        Some(existing) => {
+                            // Ticks are unique per publish, so sequence
+                            // order is exactly HLC order.
+                            if seq > existing.1 {
+                                *existing = (r, seq);
+                            }
+                        }
+                        None => model[ia].records.push((r, seq)),
+                    }
+                }
+                for s in absorbed_model.subs {
+                    match model[ia]
+                        .subs
+                        .iter_mut()
+                        .find(|x| x.id() == s.id() && x.subscriber() == s.subscriber())
+                    {
+                        Some(existing) => {
+                            // Later-expiring registration wins; ties keep
+                            // the existing one.
+                            if s.expires_at() > existing.expires_at() {
+                                *existing = s;
+                            }
+                        }
+                        None => model[ia].subs.push(s),
+                    }
+                }
+            }
+        }
+        check_shards(&stores, &model, now)?;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        run_ops(ops)?;
+    }
+}

@@ -48,7 +48,7 @@ fn join_split_envelope(neighbors: usize, records: usize) -> Envelope {
             neighbors: (0..neighbors)
                 .map(|i| NeighborInfo::new(node(10 + i as u64), region))
                 .collect(),
-            store,
+            store: Box::new(store),
         },
     }
 }

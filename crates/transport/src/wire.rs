@@ -11,7 +11,7 @@ use std::net::SocketAddr;
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use geogrid_core::engine::{Message, NeighborInfo};
-use geogrid_core::service::{LocationQuery, LocationRecord, RegionStore, Subscription};
+use geogrid_core::service::{Hlc, LocationQuery, LocationRecord, RegionStore, Subscription};
 use geogrid_core::{NodeId, NodeInfo};
 use geogrid_geometry::{Point, Region};
 
@@ -305,14 +305,17 @@ fn get_subscription(r: &mut Reader<'_>) -> Result<Subscription, WireError> {
 }
 
 fn put_store(buf: &mut BytesMut, store: &RegionStore) {
-    let records = store.records();
-    buf.put_u32_le(records.len() as u32);
-    for rec in records {
+    // Records travel with their HLC stamps: the receiver installs them as
+    // replicas, so last-write-wins stays coherent across the hand-off.
+    buf.put_u32_le(store.record_count() as u32);
+    for (rec, stamp) in store.records_with_stamps() {
         put_record(buf, rec);
+        buf.put_u64_le(stamp.physical());
+        buf.put_u32_le(stamp.logical());
+        buf.put_u64_le(stamp.node());
     }
-    let subs = store.subscriptions();
-    buf.put_u32_le(subs.len() as u32);
-    for sub in subs {
+    buf.put_u32_le(store.subscription_count() as u32);
+    for sub in store.subscriptions() {
         put_subscription(buf, sub);
     }
 }
@@ -323,19 +326,17 @@ fn get_store(r: &mut Reader<'_>) -> Result<RegionStore, WireError> {
     if n > 10_000_000 {
         return Err(WireError::BadLength(n));
     }
-    let mut records = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
-        records.push(get_record(r)?);
+        let rec = get_record(r)?;
+        let stamp = Hlc::new(r.u64()?, r.u32()?, r.u64()?);
+        store.insert_replica(rec, stamp);
     }
     let m = r.u32()? as usize;
     if m > 10_000_000 {
         return Err(WireError::BadLength(m));
     }
     for _ in 0..m {
-        store.subscribe(get_subscription(r)?, 0);
-    }
-    for rec in records {
-        store.publish(rec, 0);
+        store.insert_sub_replica(get_subscription(r)?);
     }
     Ok(store)
 }
@@ -566,18 +567,18 @@ fn get_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
         TAG_JOIN_SPLIT => Ok(Message::JoinSplit {
             region: get_region(r)?,
             neighbors: get_neighbors(r)?,
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
         }),
         TAG_JOIN_AS_SECONDARY => Ok(Message::JoinAsSecondary {
             region: get_region(r)?,
             primary: get_node_info(r)?,
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
             neighbors: get_neighbors(r)?,
         }),
         TAG_SPLIT_TAKEOVER => Ok(Message::SplitTakeover {
             region: get_region(r)?,
             neighbors: get_neighbors(r)?,
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
         }),
         TAG_NEIGHBOR_UPDATE => Ok(Message::NeighborUpdate {
             info: get_neighbor(r)?,
@@ -622,7 +623,7 @@ fn get_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
             },
         }),
         TAG_SYNC_STATE => Ok(Message::SyncState {
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
             neighbors: get_neighbors(r)?,
         }),
         TAG_STEAL_REQUEST => Ok(Message::StealSecondaryRequest {
@@ -645,14 +646,14 @@ fn get_message(r: &mut Reader<'_>) -> Result<Message, WireError> {
         TAG_STEAL_DENY => Ok(Message::StealSecondaryDeny),
         TAG_TAKE_OVER => Ok(Message::TakeOverRegion {
             region: get_region(r)?,
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
             neighbors: get_neighbors(r)?,
             new_secondary: get_opt_node_info(r)?,
         }),
         TAG_LEAVE_NOTICE => Ok(Message::LeaveNotice),
         TAG_MERGE_REGIONS => Ok(Message::MergeRegions {
             region: get_region(r)?,
-            store: get_store(r)?,
+            store: Box::new(get_store(r)?),
             neighbors: get_neighbors(r)?,
         }),
         TAG_DETACHED => Ok(Message::Detached),
@@ -853,18 +854,18 @@ mod tests {
             Message::JoinSplit {
                 region,
                 neighbors: vec![neighbor.clone()],
-                store: store.clone(),
+                store: Box::new(store.clone()),
             },
             Message::JoinAsSecondary {
                 region,
                 primary: node(1),
-                store: store.clone(),
+                store: Box::new(store.clone()),
                 neighbors: vec![neighbor.clone()],
             },
             Message::SplitTakeover {
                 region,
                 neighbors: vec![neighbor.clone()],
-                store: store.clone(),
+                store: Box::new(store.clone()),
             },
             Message::NeighborUpdate {
                 info: neighbor.clone(),
@@ -895,7 +896,7 @@ mod tests {
                 index: 0.25,
             },
             Message::SyncState {
-                store: store.clone(),
+                store: Box::new(store.clone()),
                 neighbors: Vec::new(),
             },
             Message::StealSecondaryRequest {
@@ -917,12 +918,12 @@ mod tests {
             },
             Message::MergeRegions {
                 region,
-                store: store.clone(),
+                store: Box::new(store.clone()),
                 neighbors: vec![neighbor.clone()],
             },
             Message::TakeOverRegion {
                 region,
-                store,
+                store: Box::new(store),
                 neighbors: vec![neighbor],
                 new_secondary: Some(node(9)),
             },
@@ -945,7 +946,7 @@ mod tests {
         let env = envelope(Message::JoinSplit {
             region: Region::new(0.0, 0.0, 1.0, 1.0),
             neighbors: vec![NeighborInfo::new(node(3), Region::new(0.0, 0.0, 2.0, 2.0))],
-            store: RegionStore::new(),
+            store: Box::new(RegionStore::new()),
         });
         let bytes = env.encode();
         for cut in 0..bytes.len() {
@@ -990,7 +991,7 @@ mod tests {
                 },
                 NeighborInfo::new(node(5), region),
             ],
-            store: RegionStore::new(),
+            store: Box::new(RegionStore::new()),
         };
         let ids = referenced_nodes(&m);
         assert_eq!(ids, vec![NodeId::new(3), NodeId::new(4), NodeId::new(5)]);

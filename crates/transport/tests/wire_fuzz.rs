@@ -72,7 +72,7 @@ fn arb_subscription() -> impl Strategy<Value = Subscription> {
         })
 }
 
-fn arb_store() -> impl Strategy<Value = RegionStore> {
+fn arb_store() -> impl Strategy<Value = Box<RegionStore>> {
     (
         proptest::collection::vec(arb_record(), 0..8),
         proptest::collection::vec(arb_subscription(), 0..8),
@@ -85,7 +85,7 @@ fn arb_store() -> impl Strategy<Value = RegionStore> {
             for r in records {
                 store.publish(r, 0);
             }
-            store
+            Box::new(store)
         })
 }
 
