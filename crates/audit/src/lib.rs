@@ -14,13 +14,24 @@
 //!
 //! | ID | Rule |
 //! |-------|------|
+//! | GG000 | marker hygiene: every `// audit:` marker uses a known family, attaches to a function, and carries required arguments |
 //! | GG001 | functions marked `// audit: geometry-rewrite` must call every required callee group (epoch bump + grid/mirror rewrite), and nothing unmarked may call those mutators |
 //! | GG002 | no allocation (`Vec::new`, `vec!`, `.clone()`, `.to_vec()`, `.collect()`, …) inside `#[hot_path]`-marked functions |
 //! | GG003 | no `.unwrap()` in non-test `crates/core` code; `.expect(...)` only with an `"invariant: ..."` message |
 //! | GG004 | `#![forbid(unsafe_code)]` present in every first-party crate root |
 //! | GG005 | the geometry epoch field is written only inside `bump_epoch` |
-//! | GG006 | the snapshot publication primitives (`publish_snapshot`, `install_snapshot`) are called only from `// audit: geometry-rewrite` / `// audit: snapshot-publish` marked functions |
+//! | GG006 | the snapshot publication primitives (`publish_snapshot`, `install_snapshot`) are called only from `// audit: geometry-rewrite` / `// audit: snapshot-publish` marked functions, and every `snapshot-publish` marker is live |
 //! | GG007 | the store hand-off primitives (`split_for`, `absorb`) are called only from `// audit: store-handoff` marked functions, and every marked function actually calls one |
+//! | GG008 | `#[hot_path]` purity is transitive: no allocation, blocking, or panicking construct reachable through helper calls (escape: `// audit: hot-path-exempt(reason)`) |
+//! | GG009 | the wire decode surface (`decode*`/`read_frame` in `crates/transport`) reaches no indexing, unwrap, or unchecked arithmetic |
+//! | GG010 | every `Message` enum variant appears in the encode, decode, and engine-handler match sites |
+//! | GG011 | no blocking call (`std::thread::sleep`, `std::sync::Mutex::lock`, `std::fs`/`std::net` IO) reachable from an `async fn` in `crates/transport` |
+//!
+//! GG001–GG007 are *lexical* (per-function token patterns). GG008–GG011
+//! are *reachability* rules: the [`graph`] module links every function
+//! definition and call site into an approximate workspace call graph and
+//! walks it (see that module's docs for the resolution strategy and its
+//! known false-negative classes).
 //!
 //! Every rule has a fix-it hint ([`hint`]) and seeded-violation self-tests
 //! (this file's test module) proving it catches the mistake it exists
@@ -42,6 +53,10 @@ use std::fmt;
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 
+pub mod graph;
+
+pub use graph::{analyze_files, analyze_workspace, Analysis, UnresolvedCall};
+
 // ---------------------------------------------------------------------------
 // Rule metadata
 // ---------------------------------------------------------------------------
@@ -59,6 +74,15 @@ pub struct RuleInfo {
 
 /// The full rule catalog, in id order.
 pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "GG000",
+        summary: "marker hygiene: every `// audit:` marker uses a known family, \
+                  attaches to a function, and carries required arguments",
+        hint: "use one of the known marker families (geometry-rewrite, \
+               snapshot-publish, store-handoff, hot-path-exempt), place the \
+               marker directly above a function, and give hot-path-exempt a \
+               parenthesized reason",
+    },
     RuleInfo {
         id: "GG001",
         summary: "geometry-rewrite three-site coherence: marked functions must \
@@ -110,6 +134,44 @@ pub const RULES: &[RuleInfo] = &[
         hint: "route the hand-off through a marked engine site (split/merge/\
                join acceptance), or mark a deliberate new hand-off site with \
                `// audit: store-handoff` and make it call split_for or absorb",
+    },
+    RuleInfo {
+        id: "GG008",
+        summary: "transitive #[hot_path] purity: no allocation, blocking, or \
+                  panicking construct reachable from a hot function through \
+                  any chain of resolved helper calls",
+        hint: "hoist the offending work out of the call chain (scratch \
+               buffers, precomputation), or — if the path is provably cold — \
+               mark the helper `// audit: hot-path-exempt(reason)`",
+    },
+    RuleInfo {
+        id: "GG009",
+        summary: "wire-decode panic freedom: no `[]` indexing, `.unwrap()`, \
+                  undocumented `.expect()`, panic macro, or unchecked `+`/`-`/\
+                  `*` arithmetic reachable from decode*/read_frame in \
+                  crates/transport",
+        hint: "use length-checked Reader accessors, `get(..)`, and \
+               checked_add/checked_mul — malformed peer input must surface as \
+               a WireError, never a panic",
+    },
+    RuleInfo {
+        id: "GG010",
+        summary: "Message-variant exhaustiveness: every variant of the core \
+                  `Message` enum appears in the wire encode site, the wire \
+                  decode site, and the engine handler match",
+        hint: "add the variant to put_message + get_message \
+               (crates/transport/src/wire.rs) and handle_message \
+               (crates/core/src/engine/node.rs) — a variant missing from any \
+               site is silently undeliverable",
+    },
+    RuleInfo {
+        id: "GG011",
+        summary: "async purity: no blocking call (std::thread::sleep, \
+                  std::sync::Mutex::lock, std::fs / blocking std::net IO) \
+                  reachable from an async fn in crates/transport",
+        hint: "move the blocking work behind tokio::task::spawn_blocking, or \
+               use the tokio equivalent (tokio::time::sleep, tokio::net, \
+               parking_lot for brief uncontended locks)",
     },
 ];
 
@@ -470,6 +532,8 @@ pub struct FnItem {
     /// Whether the function is test-only (`#[test]`, `#[cfg(test)]`, or
     /// inside a `#[cfg(test)] mod`).
     pub is_test: bool,
+    /// Whether the function is declared `async`.
+    pub is_async: bool,
 }
 
 /// A file's lexed tokens plus the recovered item structure.
@@ -485,6 +549,8 @@ pub struct FileModel {
     pub fns: Vec<FnItem>,
     /// Token ranges of `#[cfg(test)]` items and `#[test]` fn bodies.
     pub test_ranges: Vec<Range<usize>>,
+    /// `// audit:` markers not attached to any function (GG000).
+    pub stray_markers: Vec<Marker>,
 }
 
 impl FileModel {
@@ -519,6 +585,7 @@ pub fn model(path: &str, lexed: &Lexed) -> FileModel {
         inner_attrs: Vec::new(),
         fns: Vec::new(),
         test_ranges: Vec::new(),
+        stray_markers: Vec::new(),
     };
     let mut marker_cursor = 0usize;
     let mut i = 0usize;
@@ -575,6 +642,9 @@ pub fn model(path: &str, lexed: &Lexed) -> FileModel {
         }
         i += 1;
     }
+    // Markers the fn scan never attached (e.g. trailing at end of file).
+    fm.stray_markers
+        .extend(lexed.markers[marker_cursor..].iter().cloned());
     // Re-check test status now that all ranges are known, and keep the
     // token stream for the rules.
     let ranges = fm.test_ranges.clone();
@@ -742,8 +812,37 @@ fn handle_fn(
         markers,
         body: open + 1..close,
         is_test,
+        is_async: detect_async(toks, fn_idx),
     });
     close + 1
+}
+
+/// Whether the `fn` at `fn_idx` carries an `async` qualifier. The
+/// qualifiers were already consumed by the caller's scan, so this walks
+/// back over the qualifier-shaped tokens (`pub (crate)`, `const`,
+/// `unsafe`, `extern "C"`, …) that may precede the keyword.
+fn detect_async(toks: &[Token], fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        let t = &toks[j - 1].tok;
+        let qualifier = matches!(
+            t,
+            Tok::Ident(s) if matches!(
+                s.as_str(),
+                "pub" | "const" | "async" | "unsafe" | "extern" | "crate" | "super" | "self" | "in"
+            )
+        ) || t.is("(")
+            || t.is(")")
+            || matches!(t, Tok::Str(_));
+        if !qualifier {
+            return false;
+        }
+        if t.is("async") {
+            return true;
+        }
+        j -= 1;
+    }
+    false
 }
 
 // ---------------------------------------------------------------------------
@@ -801,11 +900,27 @@ pub const SNAPSHOT_PRIMITIVES: &[&str] = &["publish_snapshot", "install_snapshot
 /// stores around freely to probe the primitives themselves.
 pub const HANDOFF_PRIMITIVES: &[&str] = &["split_for", "absorb"];
 
-const HOT_BANNED_METHODS: &[&str] = &["clone", "to_vec", "collect", "to_owned", "to_string"];
-const HOT_BANNED_TYPES: &[&str] = &[
+pub(crate) const HOT_BANNED_METHODS: &[&str] =
+    &["clone", "to_vec", "collect", "to_owned", "to_string"];
+pub(crate) const HOT_BANNED_TYPES: &[&str] = &[
     "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque",
 ];
-const HOT_BANNED_MACROS: &[&str] = &["vec", "format"];
+pub(crate) const HOT_BANNED_MACROS: &[&str] = &["vec", "format"];
+
+/// Marker families the audit vocabulary knows; anything else is a GG000
+/// violation (most often a typo that would silently disable a rule).
+pub const MARKER_FAMILIES: &[&str] = &[
+    "geometry-rewrite",
+    "snapshot-publish",
+    "store-handoff",
+    "hot-path-exempt",
+];
+
+/// Whether an outer attribute (flattened by [`model`]) is the
+/// `#[hot_path]` marker from `geogrid-marks`, however it was imported.
+pub(crate) fn is_hot_path_attr(a: &str) -> bool {
+    a == "hot_path" || a.ends_with(":: hot_path") || a.starts_with("hot_path (")
+}
 
 /// Whether the body range contains a call to `name` (identifier followed
 /// by `(`, not a definition).
@@ -880,7 +995,76 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     if is_crate_root(path) {
         rule_forbid_unsafe(&fm, &mut out);
     }
+    rule_marker_hygiene(&fm, &mut out);
     out
+}
+
+/// The marker family: text up to the first whitespace or `(`.
+fn marker_family(text: &str) -> &str {
+    let end = text
+        .find(|c: char| c.is_whitespace() || c == '(')
+        .unwrap_or(text.len());
+    &text[..end]
+}
+
+/// GG000: marker hygiene. Every `// audit:` marker must (a) name a known
+/// family, (b) precede a function so a rule actually consumes it, and
+/// (c) for `hot-path-exempt`, carry a non-empty `(reason)`. A marker
+/// failing any of these silently disables the rule it was meant to
+/// engage, which is worse than no marker at all. (A marker separated
+/// from its function by other items still attaches to that function —
+/// if the pairing is wrong, the per-family dead-marker checks in
+/// GG001/GG006/GG007/GG008 fire instead.)
+fn rule_marker_hygiene(fm: &FileModel, out: &mut Vec<Finding>) {
+    for f in &fm.fns {
+        for m in &f.markers {
+            let family = marker_family(m);
+            if !MARKER_FAMILIES.contains(&family) {
+                out.push(Finding {
+                    rule: "GG000",
+                    path: fm.path.clone(),
+                    line: f.line,
+                    message: format!(
+                        "`{}` carries unknown marker family `audit: {family}` \
+                         (known: {})",
+                        f.name,
+                        MARKER_FAMILIES.join(", "),
+                    ),
+                });
+            } else if family == "hot-path-exempt" {
+                let reason = m
+                    .trim_start_matches("hot-path-exempt")
+                    .trim()
+                    .strip_prefix('(')
+                    .and_then(|r| r.strip_suffix(')'))
+                    .map(str::trim);
+                if reason.is_none_or(|r| r.is_empty()) {
+                    out.push(Finding {
+                        rule: "GG000",
+                        path: fm.path.clone(),
+                        line: f.line,
+                        message: format!(
+                            "`{}` has `audit: hot-path-exempt` without a \
+                             `(reason)` — exemptions must say why",
+                            f.name,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    for m in &fm.stray_markers {
+        out.push(Finding {
+            rule: "GG000",
+            path: fm.path.clone(),
+            line: m.line,
+            message: format!(
+                "stray `audit: {}` marker not attached to any function \
+                 (no rule will ever read it)",
+                marker_family(&m.text),
+            ),
+        });
+    }
 }
 
 /// GG001: geometry-rewrite three-site coherence.
@@ -923,9 +1107,25 @@ fn rule_geometry_rewrite(fm: &FileModel, out: &mut Vec<Finding>) {
     }
 }
 
-/// GG006: snapshot publication only from marked sites.
+/// GG006: snapshot publication only from marked sites, and no dead markers.
 fn rule_snapshot_publish(fm: &FileModel, out: &mut Vec<Finding>) {
     for f in &fm.fns {
+        if f.markers.iter().any(|m| m.starts_with("snapshot-publish"))
+            && !SNAPSHOT_PRIMITIVES
+                .iter()
+                .any(|callee| body_calls(&fm.tokens, &f.body, callee))
+        {
+            out.push(Finding {
+                rule: "GG006",
+                path: fm.path.clone(),
+                line: f.line,
+                message: format!(
+                    "`{}` is marked `audit: snapshot-publish` but never calls {}",
+                    f.name,
+                    SNAPSHOT_PRIMITIVES.join(" | "),
+                ),
+            });
+        }
         let marked = f
             .markers
             .iter()
@@ -994,11 +1194,7 @@ fn rule_store_handoff(fm: &FileModel, out: &mut Vec<Finding>) {
 /// GG002: allocation ban inside `#[hot_path]` functions.
 fn rule_hot_path(fm: &FileModel, out: &mut Vec<Finding>) {
     for f in &fm.fns {
-        if !f
-            .attrs
-            .iter()
-            .any(|a| a == "hot_path" || a.ends_with(":: hot_path") || a.starts_with("hot_path ("))
-        {
+        if !f.attrs.iter().any(|a| is_hot_path_attr(a)) {
             continue;
         }
         let toks = &fm.tokens;
@@ -1164,14 +1360,12 @@ pub fn collect_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     Ok(out)
 }
 
-/// Lints every first-party source file under the workspace root.
+/// Lints every first-party source file under the workspace root: the
+/// per-file lexical rules plus the workspace call-graph rules
+/// (GG008–GG011). Back-compat wrapper over [`analyze_workspace`] for
+/// callers that only want the findings.
 pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
-    let files = collect_sources(root)?;
-    let mut findings = Vec::new();
-    for (path, text) in &files {
-        findings.extend(lint_source(path, text));
-    }
-    Ok(findings)
+    Ok(analyze_workspace(root)?.findings)
 }
 
 /// Locates the workspace root by walking up from `start` to the first
@@ -1335,6 +1529,70 @@ mod tests {
             }
         "#;
         assert!(lint_source(CORE_PATH, src).is_empty());
+    }
+
+    #[test]
+    fn gg006_catches_dead_snapshot_marker() {
+        // The marker engages GG006's site allowance but the body never
+        // publishes: a stale marker that would silently bless a future
+        // publication added to this function.
+        let src = r#"
+            // audit: snapshot-publish
+            pub fn rebalance(&mut self) {
+                self.weights.recompute();
+            }
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG006"]);
+        assert!(f[0].message.contains("never calls"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gg000_catches_unknown_marker_family() {
+        let src = r#"
+            // audit: hotpath-exempt(typo'd family)
+            fn promote(&mut self) {}
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG000"]);
+        assert!(f[0].message.contains("unknown marker family"));
+    }
+
+    #[test]
+    fn gg000_catches_stray_marker() {
+        // No function follows this marker, so no rule will ever consume
+        // it — the exemption (or site allowance) it promises is dead.
+        let src = r#"
+            fn promote(&mut self) {}
+            // audit: hot-path-exempt(dangling: attached to a const, not a fn)
+            const SLAB_SLOTS: usize = 64;
+        "#;
+        let f = lint_source(CORE_PATH, src);
+        assert_eq!(rules_of(&f), vec!["GG000"]);
+        assert!(f[0].message.contains("stray"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn gg000_requires_reason_on_hot_path_exempt() {
+        let bare = r#"
+            // audit: hot-path-exempt
+            fn grow(&mut self) {}
+        "#;
+        let f = lint_source(CORE_PATH, bare);
+        assert_eq!(rules_of(&f), vec!["GG000"]);
+        assert!(f[0].message.contains("without a"), "{}", f[0].message);
+
+        let empty = r#"
+            // audit: hot-path-exempt(  )
+            fn grow(&mut self) {}
+        "#;
+        assert_eq!(rules_of(&lint_source(CORE_PATH, empty)), vec!["GG000"]);
+
+        let reasoned = r#"
+            // audit: hot-path-exempt(one-time lazy growth, capped)
+            fn grow(&mut self) {}
+        "#;
+        assert!(lint_source(CORE_PATH, reasoned).is_empty());
     }
 
     #[test]

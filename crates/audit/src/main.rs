@@ -2,13 +2,21 @@
 //! non-zero when any project rule is violated. Wired up as the
 //! `cargo lint-all` alias (see `.cargo/config.toml`) and run by the CI
 //! `lint` job alongside clippy.
+//!
+//! Exit codes are a stable contract for CI and scripting:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | scan completed, no findings               |
+//! | 1    | scan completed, one or more findings      |
+//! | 2    | scanner error (bad flags, unreadable root)|
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use geogrid_audit::{find_workspace_root, hint, lint_workspace, RULES};
+use geogrid_audit::{analyze_workspace, find_workspace_root, hint, Analysis, RULES};
 
 const USAGE: &str = "\
 geogrid-audit: offline static-analysis pass over the GeoGrid workspace
@@ -20,6 +28,10 @@ OPTIONS:
     --root <dir>    lint the workspace rooted at <dir> instead of
                     discovering it from the current directory
     --list-rules    print the rule catalog (ids, summaries, fix-it hints)
+    --json          machine-readable report on stdout (exit codes keep
+                    their meaning: 0 clean, 1 findings, 2 scanner error)
+    --verbose       also print call sites the graph resolver could not
+                    link, plus resolution statistics
     -q, --quiet     print findings only, no summary line
     -h, --help      this text
 ";
@@ -27,6 +39,8 @@ OPTIONS:
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut quiet = false;
+    let mut json = false;
+    let mut verbose = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,6 +57,8 @@ fn main() -> ExitCode {
                 }
                 return ExitCode::SUCCESS;
             }
+            "--json" => json = true,
+            "--verbose" => verbose = true,
             "-q" | "--quiet" => quiet = true,
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -72,8 +88,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let findings = match lint_workspace(&root) {
-        Ok(f) => f,
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
         Err(e) => {
             eprintln!(
                 "error: failed to read sources under {}: {e}",
@@ -83,7 +99,20 @@ fn main() -> ExitCode {
         }
     };
 
-    for f in &findings {
+    if json {
+        println!("{}", render_json(&analysis));
+    } else {
+        render_text(&analysis, quiet, verbose);
+    }
+    if analysis.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn render_text(analysis: &Analysis, quiet: bool, verbose: bool) {
+    for f in &analysis.findings {
         println!(
             "{} {}:{}\n  {}\n  fix: {}\n",
             f.rule,
@@ -93,15 +122,94 @@ fn main() -> ExitCode {
             hint(f.rule)
         );
     }
-    if findings.is_empty() {
+    if verbose {
+        println!(
+            "call graph: {} function(s), {} resolved edge(s), {} external edge(s), \
+             {} unresolved call(s)",
+            analysis.functions,
+            analysis.edges_resolved,
+            analysis.edges_external,
+            analysis.unresolved.len()
+        );
+        for u in &analysis.unresolved {
+            println!(
+                "  unresolved {}:{} {} -> {}",
+                u.path, u.line, u.caller, u.callee
+            );
+        }
+    }
+    if analysis.findings.is_empty() {
         if !quiet {
             println!("geogrid-audit: clean ({} rules, 0 findings)", RULES.len());
         }
-        ExitCode::SUCCESS
-    } else {
-        if !quiet {
-            println!("geogrid-audit: {} finding(s)", findings.len());
-        }
-        ExitCode::FAILURE
+    } else if !quiet {
+        println!("geogrid-audit: {} finding(s)", analysis.findings.len());
     }
+}
+
+/// Renders the whole report as a single JSON object. Hand-rolled (the
+/// workspace is offline, no serde): only strings need care, and
+/// [`json_string`] covers the full escape set.
+fn render_json(analysis: &Analysis) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"version\": {},\n",
+        json_string(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str(&format!("  \"rules\": {},\n", RULES.len()));
+    out.push_str("  \"graph\": {");
+    out.push_str(&format!(
+        "\"functions\": {}, \"edges_resolved\": {}, \"edges_external\": {}, \
+         \"unresolved\": {}",
+        analysis.functions,
+        analysis.edges_resolved,
+        analysis.edges_external,
+        analysis.unresolved.len()
+    ));
+    out.push_str("},\n");
+    out.push_str(&format!(
+        "  \"finding_count\": {},\n",
+        analysis.findings.len()
+    ));
+    out.push_str("  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!(
+            "\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}, \"hint\": {}",
+            json_string(f.rule),
+            json_string(&f.path),
+            f.line,
+            json_string(&f.message),
+            json_string(hint(f.rule))
+        ));
+        out.push('}');
+    }
+    if !analysis.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

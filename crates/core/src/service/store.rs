@@ -71,10 +71,18 @@ struct ExpiryWheel {
 }
 
 impl ExpiryWheel {
-    fn schedule(&mut self, at: u64, kind: EntryKind, slot: u32) {
+    /// Materialises the near buckets on the first filed deadline. Lazy so
+    /// the thousands of per-region stores that never hold a deadline stay
+    /// at `size_of::<ExpiryWheel>()`.
+    // audit: hot-path-exempt(one-time lazy bucket allocation on the first deadline a wheel ever files)
+    fn ensure_buckets(&mut self) {
         if self.buckets.is_empty() {
             self.buckets.resize_with(WHEEL_SLOTS as usize, Vec::new);
         }
+    }
+
+    fn schedule(&mut self, at: u64, kind: EntryKind, slot: u32) {
+        self.ensure_buckets();
         let entry = WheelEntry { at, kind, slot };
         // Deadlines already at or behind the cursor file one tick ahead so
         // the next advance drains them.
@@ -660,6 +668,7 @@ impl RegionStore {
         }
     }
 
+    // audit: hot-path-exempt(grid (re)build fires once past INDEX_THRESHOLD and at most O(log extent) times on bounds growth; per-op filings never reach it)
     fn build_grid(&mut self) {
         let bounds = self.learned_bounds();
         let mut grid = StoreGrid::new(bounds);

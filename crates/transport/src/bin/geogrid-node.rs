@@ -314,7 +314,11 @@ async fn main() -> ExitCode {
     }
     if known.is_empty() {
         if let Some(cache) = &args.host_cache {
-            if let Ok(list) = load_host_cache(cache) {
+            // File IO runs on the blocking pool so the async entry task
+            // (which already services transport events) is never stalled.
+            let path = cache.clone();
+            if let Ok(Ok(list)) = tokio::task::spawn_blocking(move || load_host_cache(&path)).await
+            {
                 println!(
                     "using {} cached host(s) from {}",
                     list.len(),
@@ -348,8 +352,11 @@ async fn main() -> ExitCode {
         let mut entries = known.clone();
         entries.retain(|(id, _)| *id != handle.info().id());
         entries.push((handle.info().id(), handle.local_addr()));
-        if let Err(e) = save_host_cache(cache, &entries) {
-            eprintln!("could not write host cache: {e}");
+        let path = cache.clone();
+        match tokio::task::spawn_blocking(move || save_host_cache(&path, &entries)).await {
+            Ok(Err(e)) => eprintln!("could not write host cache: {e}"),
+            Err(e) => eprintln!("host cache writer panicked: {e}"),
+            Ok(Ok(())) => {}
         }
     }
 

@@ -256,6 +256,26 @@ impl From<&[u8]> for Bytes {
     }
 }
 
+// Upstream `bytes` lets callers compare against plain slices directly;
+// the frame-codec tests rely on this.
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.data == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.data == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.data == other
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,58 @@
+//! Offline API-compatible subset of `tokio-macros` (see vendor/README.md).
+//!
+//! Provides the `#[tokio::main]` and `#[tokio::test]` attribute macros:
+//! each rewrites an `async fn` into a plain `fn` whose body drives the
+//! original body to completion on the shim runtime's `block_on`. No
+//! `syn`/`quote` (the offline environment has neither): the item is
+//! re-assembled at the token level — the final brace group is the body,
+//! everything before it is the signature minus the `async` qualifier.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Splits an `async fn` item into (signature tokens without `async`, body
+/// group text). Returns `None` if the item has no brace-delimited body.
+fn split_async_fn(item: TokenStream) -> Option<(String, String)> {
+    let trees: Vec<TokenTree> = item.into_iter().collect();
+    let body_idx = trees
+        .iter()
+        .rposition(|t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Brace))?;
+    // Re-collect into a TokenStream so multi-character punctuation
+    // (`->`, `::`) keeps its joint spacing when stringified.
+    let sig: TokenStream = trees[..body_idx]
+        .iter()
+        .filter(|t| !matches!(t, TokenTree::Ident(id) if id.to_string() == "async"))
+        .cloned()
+        .collect();
+    let body = trees[body_idx].to_string();
+    Some((sig.to_string(), body))
+}
+
+fn wrap(item: TokenStream, test: bool) -> TokenStream {
+    let Some((sig, body)) = split_async_fn(item) else {
+        return r#"compile_error!("expected an async fn with a body");"#
+            .parse()
+            .expect("literal parses");
+    };
+    let attr = if test {
+        "#[::core::prelude::v1::test]"
+    } else {
+        ""
+    };
+    format!("{attr} {sig} {{ ::tokio::runtime::block_on(async move {body}) }}")
+        .parse()
+        .expect("reassembled item parses")
+}
+
+/// Runs an `async fn main` (or any async entry point) on the shim
+/// runtime: `#[tokio::main]`.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, false)
+}
+
+/// Marks an `async fn` as a test driven by the shim runtime:
+/// `#[tokio::test]`.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    wrap(item, true)
+}

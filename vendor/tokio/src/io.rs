@@ -1,0 +1,379 @@
+//! Async IO traits and helpers. The trait shapes diverge from upstream
+//! in one deliberate way: `poll_read`/`poll_write` take `&mut self`
+//! instead of `Pin<&mut Self>` + `ReadBuf`, which keeps every
+//! implementation `unsafe`-free while remaining source-compatible with
+//! the `reader.read_exact(..).await` / `writer.write_all(..).await` call
+//! sites the workspace uses.
+
+use std::collections::VecDeque;
+use std::future::{poll_fn, Future};
+use std::io;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::task::{Context, Poll, Waker};
+
+/// A non-blocking byte source.
+pub trait AsyncRead: Unpin {
+    /// Attempts to read into `buf`; `Ok(0)` means EOF.
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>>;
+}
+
+/// A non-blocking byte sink.
+pub trait AsyncWrite: Unpin {
+    /// Attempts to write from `buf`, returning how many bytes were
+    /// accepted.
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>>;
+
+    /// Attempts to flush buffered data to the underlying sink.
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>>;
+}
+
+impl<T: AsyncRead + ?Sized> AsyncRead for &mut T {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        (**self).poll_read(cx, buf)
+    }
+}
+
+impl<T: AsyncWrite + ?Sized> AsyncWrite for &mut T {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        (**self).poll_write(cx, buf)
+    }
+
+    fn poll_flush(&mut self, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        (**self).poll_flush(cx)
+    }
+}
+
+/// Convenience combinators over [`AsyncRead`].
+pub trait AsyncReadExt: AsyncRead {
+    /// Reads exactly `buf.len()` bytes, erroring with `UnexpectedEof` if
+    /// the source ends first.
+    fn read_exact<'a>(
+        &'a mut self,
+        buf: &'a mut [u8],
+    ) -> impl Future<Output = io::Result<usize>> + 'a
+    where
+        Self: Sized,
+    {
+        async move {
+            let mut filled = 0;
+            poll_fn(|cx| {
+                while filled < buf.len() {
+                    match self.poll_read(cx, &mut buf[filled..]) {
+                        Poll::Ready(Ok(0)) => {
+                            return Poll::Ready(Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "early eof",
+                            )))
+                        }
+                        Poll::Ready(Ok(n)) => filled += n,
+                        Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                        Poll::Pending => return Poll::Pending,
+                    }
+                }
+                Poll::Ready(Ok(filled))
+            })
+            .await
+        }
+    }
+}
+
+impl<T: AsyncRead> AsyncReadExt for T {}
+
+/// Convenience combinators over [`AsyncWrite`].
+pub trait AsyncWriteExt: AsyncWrite {
+    /// Writes the entire buffer.
+    fn write_all<'a>(&'a mut self, buf: &'a [u8]) -> impl Future<Output = io::Result<()>> + 'a
+    where
+        Self: Sized,
+    {
+        async move {
+            let mut written = 0;
+            poll_fn(|cx| {
+                while written < buf.len() {
+                    match self.poll_write(cx, &buf[written..]) {
+                        Poll::Ready(Ok(0)) => {
+                            return Poll::Ready(Err(io::Error::new(
+                                io::ErrorKind::WriteZero,
+                                "write returned zero bytes",
+                            )))
+                        }
+                        Poll::Ready(Ok(n)) => written += n,
+                        Poll::Ready(Err(e)) => return Poll::Ready(Err(e)),
+                        Poll::Pending => return Poll::Pending,
+                    }
+                }
+                Poll::Ready(Ok(()))
+            })
+            .await
+        }
+    }
+
+    /// Flushes the sink.
+    fn flush(&mut self) -> impl Future<Output = io::Result<()>> + '_
+    where
+        Self: Sized,
+    {
+        async move { poll_fn(|cx| self.poll_flush(cx)).await }
+    }
+}
+
+impl<T: AsyncWrite> AsyncWriteExt for T {}
+
+// ---------------------------------------------------------------------------
+// In-memory duplex pipe (used by frame-codec tests).
+// ---------------------------------------------------------------------------
+
+struct PipeHalf {
+    buf: VecDeque<u8>,
+    capacity: usize,
+    closed: bool,
+    read_waker: Option<Waker>,
+    write_waker: Option<Waker>,
+}
+
+impl PipeHalf {
+    fn new(capacity: usize) -> Self {
+        Self {
+            buf: VecDeque::new(),
+            capacity,
+            closed: false,
+            read_waker: None,
+            write_waker: None,
+        }
+    }
+
+    fn close(&mut self) {
+        self.closed = true;
+        if let Some(w) = self.read_waker.take() {
+            w.wake();
+        }
+        if let Some(w) = self.write_waker.take() {
+            w.wake();
+        }
+    }
+}
+
+type SharedPipe = Arc<Mutex<PipeHalf>>;
+
+fn lock(pipe: &SharedPipe) -> std::sync::MutexGuard<'_, PipeHalf> {
+    pipe.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One end of an in-memory bidirectional pipe; see [`duplex`].
+pub struct DuplexStream {
+    read: SharedPipe,
+    write: SharedPipe,
+}
+
+/// Creates a connected pair of in-memory streams, each direction
+/// buffering at most `max_buf_size` bytes. Dropping either end closes
+/// both directions: the peer reads EOF after draining and writes fail
+/// with `BrokenPipe` (upstream semantics).
+pub fn duplex(max_buf_size: usize) -> (DuplexStream, DuplexStream) {
+    let a_to_b: SharedPipe = Arc::new(Mutex::new(PipeHalf::new(max_buf_size)));
+    let b_to_a: SharedPipe = Arc::new(Mutex::new(PipeHalf::new(max_buf_size)));
+    (
+        DuplexStream {
+            read: Arc::clone(&b_to_a),
+            write: Arc::clone(&a_to_b),
+        },
+        DuplexStream {
+            read: a_to_b,
+            write: b_to_a,
+        },
+    )
+}
+
+impl AsyncRead for DuplexStream {
+    fn poll_read(&mut self, cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        let mut pipe = lock(&self.read);
+        if !pipe.buf.is_empty() {
+            let n = pipe.buf.len().min(buf.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = pipe.buf.pop_front().expect("len checked");
+            }
+            if let Some(w) = pipe.write_waker.take() {
+                w.wake();
+            }
+            return Poll::Ready(Ok(n));
+        }
+        if pipe.closed {
+            return Poll::Ready(Ok(0));
+        }
+        pipe.read_waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl AsyncWrite for DuplexStream {
+    fn poll_write(&mut self, cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        let mut pipe = lock(&self.write);
+        if pipe.closed {
+            return Poll::Ready(Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed",
+            )));
+        }
+        let space = pipe.capacity.saturating_sub(pipe.buf.len());
+        if space == 0 {
+            pipe.write_waker = Some(cx.waker().clone());
+            return Poll::Pending;
+        }
+        let n = space.min(buf.len());
+        pipe.buf.extend(&buf[..n]);
+        if let Some(w) = pipe.read_waker.take() {
+            w.wake();
+        }
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Poll::Ready(Ok(()))
+    }
+}
+
+impl Drop for DuplexStream {
+    fn drop(&mut self) {
+        lock(&self.read).close();
+        lock(&self.write).close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Async stdin line input (used by the geogrid-node REPL).
+// ---------------------------------------------------------------------------
+
+/// Handle to process stdin; see [`stdin`]. Only line-oriented access via
+/// [`BufReader`] + [`AsyncBufReadExt::lines`] is supported.
+pub struct Stdin {
+    rx: std::sync::mpsc::Receiver<io::Result<String>>,
+}
+
+/// Returns an async handle to stdin. A dedicated thread performs the
+/// blocking `read_line` calls and forwards complete lines over a
+/// channel, so awaiting a line never blocks the async task.
+pub fn stdin() -> Stdin {
+    let (tx, rx) = std::sync::mpsc::channel();
+    // If thread spawning fails the channel closes and readers see EOF.
+    let _ = std::thread::Builder::new()
+        .name("tokio-shim-stdin".into())
+        .spawn(move || {
+            use std::io::BufRead;
+            let input = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match input.lock().read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        let trimmed = line.trim_end_matches(['\n', '\r']).to_string();
+                        if tx.send(Ok(trimmed)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+    Stdin { rx }
+}
+
+/// Buffering adapter. Under this shim it only enables the
+/// [`AsyncBufReadExt::lines`] API over [`Stdin`] (which already buffers
+/// per line on its reader thread).
+pub struct BufReader<R> {
+    inner: R,
+}
+
+impl<R> BufReader<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+}
+
+/// Line-splitting extension; see [`BufReader`].
+pub trait AsyncBufReadExt: Sized {
+    /// Consumes the reader, yielding a [`Lines`] stream.
+    fn lines(self) -> Lines<Self> {
+        Lines { src: self }
+    }
+}
+
+impl AsyncBufReadExt for BufReader<Stdin> {}
+
+/// Stream of input lines; see [`AsyncBufReadExt::lines`].
+pub struct Lines<R> {
+    src: R,
+}
+
+impl Lines<BufReader<Stdin>> {
+    /// Returns the next line without its terminator, or `None` on EOF.
+    pub async fn next_line(&mut self) -> io::Result<Option<String>> {
+        poll_fn(|_cx| match self.src.inner.rx.try_recv() {
+            Ok(Ok(line)) => Poll::Ready(Ok(Some(line))),
+            Ok(Err(e)) => Poll::Ready(Err(e)),
+            Err(std::sync::mpsc::TryRecvError::Empty) => Poll::Pending,
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => Poll::Ready(Ok(None)),
+        })
+        .await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn duplex_round_trips_across_tasks() {
+        block_on(async {
+            let (mut a, mut b) = duplex(8);
+            let writer = crate::spawn(async move {
+                b.write_all(b"hello duplex world").await.expect("writes");
+                b.flush().await.expect("flushes");
+                // Drop closes the pipe so the reader sees EOF.
+            });
+            let mut buf = [0u8; 18];
+            a.read_exact(&mut buf).await.expect("reads");
+            assert_eq!(&buf, b"hello duplex world");
+            writer.await.expect("writer completes");
+            let mut end = [0u8; 1];
+            let err = a.read_exact(&mut end).await.expect_err("eof after drop");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        });
+    }
+
+    #[test]
+    fn duplex_write_after_peer_drop_is_broken_pipe() {
+        block_on(async {
+            let (mut a, b) = duplex(8);
+            drop(b);
+            let err = a.write_all(b"x").await.expect_err("peer gone");
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        });
+    }
+
+    #[test]
+    fn read_exact_assembles_partial_reads() {
+        // A reader that yields one byte per poll.
+        struct OneByte(u8);
+        impl AsyncRead for OneByte {
+            fn poll_read(
+                &mut self,
+                _cx: &mut Context<'_>,
+                buf: &mut [u8],
+            ) -> Poll<io::Result<usize>> {
+                buf[0] = self.0;
+                self.0 += 1;
+                Poll::Ready(Ok(1))
+            }
+        }
+        let mut buf = [0u8; 4];
+        block_on(OneByte(1).read_exact(&mut buf)).expect("fills");
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,134 @@
+//! Offline API-compatible subset of the `tokio` crate (see
+//! vendor/README.md).
+//!
+//! The real tokio multiplexes many tasks onto a few threads with an epoll
+//! reactor. This shim keeps the *API* and inverts the implementation to
+//! stay small and dependency-free: **one OS thread per task**, and every
+//! suspended task re-polls its future at least once per millisecond
+//! ([`runtime::Parker::park_brief`]). Wakers still work — a wake ends the
+//! park immediately — but correctness never depends on them: timers and
+//! non-blocking sockets make progress because the 1 ms re-poll observes
+//! them, so no reactor or timer wheel is needed. The cost is ~1k polls
+//! per second per suspended task and 1 ms of scheduling latency, both
+//! irrelevant at the scale of the transport tests this crate serves.
+//!
+//! Provided surface (exactly what `crates/transport` uses):
+//! `spawn`/`JoinHandle`, `task::spawn_blocking`, `net::{TcpListener,
+//! TcpStream}`, `io::{AsyncRead, AsyncWrite, AsyncReadExt, AsyncWriteExt,
+//! duplex, stdin, BufReader, AsyncBufReadExt}`, `sync::{mpsc, oneshot}`,
+//! `time::{sleep, timeout, interval, Instant, MissedTickBehavior}`, the
+//! [`select!`] macro, and the `#[tokio::main]`/`#[tokio::test]`
+//! attribute macros.
+
+pub mod io;
+pub mod net;
+pub mod runtime;
+pub mod sync;
+pub mod task;
+pub mod time;
+
+pub use task::{spawn, JoinHandle};
+pub use tokio_macros::{main, test};
+
+/// Waits on multiple concurrent branches, running the body of the first
+/// branch whose future completes; the other branch futures are dropped
+/// before the body runs (so bodies may freely re-borrow what the futures
+/// borrowed). Supports the two- and three-branch forms the workspace
+/// uses, with block bodies:
+///
+/// ```ignore
+/// tokio::select! {
+///     v = rx.recv() => { ... }
+///     _ = ticker.tick() => { ... }
+/// }
+/// ```
+///
+/// Unlike upstream, the select loop itself blocks its task's thread
+/// (fine under the thread-per-task runtime) and polls in declaration
+/// order (biased), re-polling at least every millisecond.
+#[macro_export]
+macro_rules! select {
+    (
+        $p1:pat = $f1:expr => $b1:block $(,)?
+        $p2:pat = $f2:expr => $b2:block $(,)?
+    ) => {{
+        let mut __sel_r1 = ::core::option::Option::None;
+        let mut __sel_r2 = ::core::option::Option::None;
+        {
+            let mut __sel_f1 = ::std::boxed::Box::pin($f1);
+            let mut __sel_f2 = ::std::boxed::Box::pin($f2);
+            let __sel_parker = $crate::runtime::Parker::new();
+            let __sel_waker = __sel_parker.waker();
+            let mut __sel_cx = ::core::task::Context::from_waker(&__sel_waker);
+            loop {
+                if let ::core::task::Poll::Ready(__v) =
+                    ::core::future::Future::poll(__sel_f1.as_mut(), &mut __sel_cx)
+                {
+                    __sel_r1 = ::core::option::Option::Some(__v);
+                    break;
+                }
+                if let ::core::task::Poll::Ready(__v) =
+                    ::core::future::Future::poll(__sel_f2.as_mut(), &mut __sel_cx)
+                {
+                    __sel_r2 = ::core::option::Option::Some(__v);
+                    break;
+                }
+                __sel_parker.park_brief();
+            }
+        }
+        if let ::core::option::Option::Some($p1) = __sel_r1 {
+            $b1
+        } else if let ::core::option::Option::Some($p2) = __sel_r2 {
+            $b2
+        } else {
+            ::core::unreachable!()
+        }
+    }};
+    (
+        $p1:pat = $f1:expr => $b1:block $(,)?
+        $p2:pat = $f2:expr => $b2:block $(,)?
+        $p3:pat = $f3:expr => $b3:block $(,)?
+    ) => {{
+        let mut __sel_r1 = ::core::option::Option::None;
+        let mut __sel_r2 = ::core::option::Option::None;
+        let mut __sel_r3 = ::core::option::Option::None;
+        {
+            let mut __sel_f1 = ::std::boxed::Box::pin($f1);
+            let mut __sel_f2 = ::std::boxed::Box::pin($f2);
+            let mut __sel_f3 = ::std::boxed::Box::pin($f3);
+            let __sel_parker = $crate::runtime::Parker::new();
+            let __sel_waker = __sel_parker.waker();
+            let mut __sel_cx = ::core::task::Context::from_waker(&__sel_waker);
+            loop {
+                if let ::core::task::Poll::Ready(__v) =
+                    ::core::future::Future::poll(__sel_f1.as_mut(), &mut __sel_cx)
+                {
+                    __sel_r1 = ::core::option::Option::Some(__v);
+                    break;
+                }
+                if let ::core::task::Poll::Ready(__v) =
+                    ::core::future::Future::poll(__sel_f2.as_mut(), &mut __sel_cx)
+                {
+                    __sel_r2 = ::core::option::Option::Some(__v);
+                    break;
+                }
+                if let ::core::task::Poll::Ready(__v) =
+                    ::core::future::Future::poll(__sel_f3.as_mut(), &mut __sel_cx)
+                {
+                    __sel_r3 = ::core::option::Option::Some(__v);
+                    break;
+                }
+                __sel_parker.park_brief();
+            }
+        }
+        if let ::core::option::Option::Some($p1) = __sel_r1 {
+            $b1
+        } else if let ::core::option::Option::Some($p2) = __sel_r2 {
+            $b2
+        } else if let ::core::option::Option::Some($p3) = __sel_r3 {
+            $b3
+        } else {
+            ::core::unreachable!()
+        }
+    }};
+}

@@ -1,0 +1,156 @@
+//! TCP over non-blocking `std::net` sockets. `WouldBlock` maps to
+//! `Poll::Pending`; the runtime's 1 ms re-poll stands in for readiness
+//! notification, so no OS event queue is needed. `connect` itself runs
+//! blocking on the task's own thread — acceptable under thread-per-task,
+//! and instant for the loopback addresses the workspace uses.
+
+use std::future::poll_fn;
+use std::io::{self, Read, Write};
+use std::net::SocketAddr;
+use std::task::{Context, Poll};
+
+use crate::io::{AsyncRead, AsyncWrite};
+
+fn retry_later(e: &io::Error) -> bool {
+    // Interrupted is safe to treat like WouldBlock: the runtime re-polls
+    // within a millisecond.
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+    )
+}
+
+/// A listening TCP socket.
+pub struct TcpListener {
+    inner: std::net::TcpListener,
+}
+
+impl TcpListener {
+    /// Binds to `addr` and starts listening.
+    pub async fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+        let inner = std::net::TcpListener::bind(addr)?;
+        inner.set_nonblocking(true)?;
+        Ok(TcpListener { inner })
+    }
+
+    /// The bound local address (gives the real port after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    /// Accepts the next inbound connection.
+    pub async fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+        poll_fn(|_cx| match self.inner.accept() {
+            Ok((stream, peer)) => Poll::Ready(TcpStream::from_std(stream).map(|s| (s, peer))),
+            Err(e) if retry_later(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        })
+        .await
+    }
+}
+
+/// A connected TCP stream implementing [`AsyncRead`] + [`AsyncWrite`].
+pub struct TcpStream {
+    inner: std::net::TcpStream,
+}
+
+impl TcpStream {
+    fn from_std(inner: std::net::TcpStream) -> io::Result<TcpStream> {
+        inner.set_nonblocking(true)?;
+        Ok(TcpStream { inner })
+    }
+
+    /// Opens a connection to `addr`.
+    pub async fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+        TcpStream::from_std(std::net::TcpStream::connect(addr)?)
+    }
+
+    /// The remote peer's address.
+    pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.peer_addr()
+    }
+
+    /// The local end's address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+}
+
+impl AsyncRead for TcpStream {
+    fn poll_read(&mut self, _cx: &mut Context<'_>, buf: &mut [u8]) -> Poll<io::Result<usize>> {
+        match self.inner.read(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if retry_later(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+impl AsyncWrite for TcpStream {
+    fn poll_write(&mut self, _cx: &mut Context<'_>, buf: &[u8]) -> Poll<io::Result<usize>> {
+        match self.inner.write(buf) {
+            Ok(n) => Poll::Ready(Ok(n)),
+            Err(e) if retry_later(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+
+    fn poll_flush(&mut self, _cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        match self.inner.flush() {
+            Ok(()) => Poll::Ready(Ok(())),
+            Err(e) if retry_later(&e) => Poll::Pending,
+            Err(e) => Poll::Ready(Err(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{AsyncReadExt, AsyncWriteExt};
+    use crate::runtime::block_on;
+
+    #[test]
+    fn loopback_round_trip() {
+        block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0".parse().expect("addr parses"))
+                .await
+                .expect("binds");
+            let addr = listener.local_addr().expect("has local addr");
+            let client = crate::spawn(async move {
+                let mut s = TcpStream::connect(addr).await.expect("connects");
+                s.write_all(b"ping").await.expect("writes");
+                let mut buf = [0u8; 4];
+                s.read_exact(&mut buf).await.expect("reads reply");
+                buf
+            });
+            let (mut server, _peer) = listener.accept().await.expect("accepts");
+            let mut buf = [0u8; 4];
+            server.read_exact(&mut buf).await.expect("reads");
+            assert_eq!(&buf, b"ping");
+            server.write_all(b"pong").await.expect("replies");
+            server.flush().await.expect("flushes");
+            let reply = client.await.expect("client completes");
+            assert_eq!(&reply, b"pong");
+        });
+    }
+
+    #[test]
+    fn read_after_peer_close_is_eof() {
+        block_on(async {
+            let listener = TcpListener::bind("127.0.0.1:0".parse().expect("addr parses"))
+                .await
+                .expect("binds");
+            let addr = listener.local_addr().expect("has local addr");
+            let client = crate::spawn(async move {
+                let _s = TcpStream::connect(addr).await.expect("connects");
+                // Dropped immediately: the server must observe EOF.
+            });
+            let (mut server, _peer) = listener.accept().await.expect("accepts");
+            client.await.expect("client completes");
+            let mut buf = [0u8; 1];
+            let err = server.read_exact(&mut buf).await.expect_err("eof");
+            assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+        });
+    }
+}

@@ -1,0 +1,124 @@
+//! The shim "runtime": [`block_on`] drives a future on the current
+//! thread, parking between polls. There is no scheduler — each task owns
+//! its thread (see crate docs).
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+/// How long a suspended task sleeps between polls when no wake arrives.
+/// This bound is the shim's universal progress guarantee: timers fire and
+/// sockets are re-checked within one tick even if nothing wakes them.
+const POLL_TICK: Duration = Duration::from_millis(1);
+
+#[derive(Default)]
+struct ParkState {
+    woken: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Wake for ParkState {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        *self.woken.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        self.cv.notify_one();
+    }
+}
+
+/// A per-poll-loop parker whose [`Waker`] ends the park early. Public
+/// because the [`select!`](crate::select) macro expansion instantiates
+/// one; not part of the upstream tokio API.
+#[derive(Default)]
+pub struct Parker {
+    state: Arc<ParkState>,
+}
+
+impl Parker {
+    /// Creates a parker in the unwoken state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A waker that ends this parker's current (or next) park.
+    pub fn waker(&self) -> Waker {
+        Waker::from(Arc::clone(&self.state))
+    }
+
+    /// Parks for at most [`POLL_TICK`], returning early if woken; clears
+    /// the woken flag so the next park blocks again.
+    pub fn park_brief(&self) {
+        let mut woken = self
+            .state
+            .woken
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if !*woken {
+            // Timeout (not a missed wake) is the normal exit: the 1 ms
+            // re-poll is what stands in for a reactor.
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(woken, POLL_TICK)
+                .unwrap_or_else(PoisonError::into_inner);
+            woken = guard;
+        }
+        *woken = false;
+    }
+}
+
+/// Runs `future` to completion on the calling thread. This is the only
+/// entry point into the shim runtime; `#[tokio::main]` and
+/// `#[tokio::test]` expand to a call to it, and [`crate::spawn`] calls it
+/// on the task's fresh thread.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let mut future: Pin<Box<F>> = Box::pin(future);
+    let parker = Parker::new();
+    let waker = parker.waker();
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        if let Poll::Ready(value) = future.as_mut().poll(&mut cx) {
+            return value;
+        }
+        parker.park_brief();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_returns_value() {
+        assert_eq!(block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn block_on_drives_pending_future() {
+        let mut polls = 0;
+        let out = block_on(std::future::poll_fn(|_cx| {
+            polls += 1;
+            if polls < 3 {
+                Poll::Pending
+            } else {
+                Poll::Ready(polls)
+            }
+        }));
+        assert_eq!(out, 3);
+    }
+
+    #[test]
+    fn waker_ends_park_early() {
+        let parker = Parker::new();
+        let waker = parker.waker();
+        let t = std::thread::spawn(move || waker.wake());
+        // Either order works: a pre-arrived wake returns immediately, a
+        // late one interrupts the timed wait.
+        parker.park_brief();
+        t.join().unwrap();
+    }
+}

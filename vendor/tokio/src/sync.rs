@@ -1,0 +1,364 @@
+//! Async channels: bounded multi-producer [`mpsc`] and single-shot
+//! [`oneshot`]. Both register wakers so cross-thread sends wake the
+//! waiting task immediately; the runtime's 1 ms re-poll is only a
+//! fallback.
+
+/// Bounded multi-producer, single-consumer channel.
+pub mod mpsc {
+    use std::collections::VecDeque;
+    use std::future::poll_fn;
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::task::{Poll, Waker};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receiver_alive: bool,
+        recv_waker: Option<Waker>,
+        send_wakers: Vec<Waker>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+    }
+
+    impl<T> Shared<T> {
+        fn state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when the receiver is gone; the
+    /// unsent value is handed back.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("channel closed")
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+    /// Sending half; clonable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("mpsc::Sender")
+        }
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("mpsc::Receiver")
+        }
+    }
+
+    /// Creates a bounded channel with room for `capacity` queued values.
+    pub fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(capacity > 0, "mpsc capacity must be positive");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receiver_alive: true,
+                recv_waker: None,
+                send_wakers: Vec::new(),
+            }),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, waiting for queue space; errors only if the
+        /// receiver has been dropped.
+        pub async fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // `Option` slot: the closure may be polled again after the
+            // value is consumed.
+            let mut slot = Some(value);
+            poll_fn(|cx| {
+                let mut st = self.shared.state();
+                if !st.receiver_alive {
+                    return Poll::Ready(Err(SendError(
+                        slot.take().expect("send polled after completion"),
+                    )));
+                }
+                if st.queue.len() < st.capacity {
+                    st.queue
+                        .push_back(slot.take().expect("send polled after completion"));
+                    if let Some(w) = st.recv_waker.take() {
+                        w.wake();
+                    }
+                    return Poll::Ready(Ok(()));
+                }
+                st.send_wakers.push(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state().senders += 1;
+            Self {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state();
+            st.senders -= 1;
+            if st.senders == 0 {
+                // Receiver must observe disconnection promptly.
+                if let Some(w) = st.recv_waker.take() {
+                    w.wake();
+                }
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives the next value; `None` once every sender is dropped
+        /// and the queue is drained.
+        pub async fn recv(&mut self) -> Option<T> {
+            poll_fn(|cx| {
+                let mut st = self.shared.state();
+                if let Some(v) = st.queue.pop_front() {
+                    for w in st.send_wakers.drain(..) {
+                        w.wake();
+                    }
+                    return Poll::Ready(Some(v));
+                }
+                if st.senders == 0 {
+                    return Poll::Ready(None);
+                }
+                st.recv_waker = Some(cx.waker().clone());
+                Poll::Pending
+            })
+            .await
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state();
+            st.receiver_alive = false;
+            // Blocked senders must observe the close and fail fast.
+            for w in st.send_wakers.drain(..) {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Single-value, single-use channel.
+pub mod oneshot {
+    use std::future::Future;
+    use std::pin::Pin;
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::task::{Context, Poll, Waker};
+
+    struct State<T> {
+        value: Option<T>,
+        sender_dropped: bool,
+        receiver_alive: bool,
+        waker: Option<Waker>,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+    }
+
+    impl<T> Shared<T> {
+        fn state(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned when awaiting a [`Receiver`] whose sender was
+    /// dropped without sending.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError(());
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("oneshot sender dropped without sending")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Sending half; consumed by [`Sender::send`].
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> std::fmt::Debug for Shared<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("oneshot::Shared")
+        }
+    }
+
+    /// Receiving half; a future yielding `Result<T, RecvError>`.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Creates a oneshot channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                value: None,
+                sender_dropped: false,
+                receiver_alive: true,
+                waker: None,
+            }),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers `value`; errors (returning it) if the receiver is gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut st = self.shared.state();
+            if !st.receiver_alive {
+                return Err(value);
+            }
+            st.value = Some(value);
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+            Ok(())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.shared.state();
+            st.sender_dropped = true;
+            if let Some(w) = st.waker.take() {
+                w.wake();
+            }
+        }
+    }
+
+    impl<T> Future for Receiver<T> {
+        type Output = Result<T, RecvError>;
+
+        fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            let mut st = self.shared.state();
+            if let Some(v) = st.value.take() {
+                return Poll::Ready(Ok(v));
+            }
+            if st.sender_dropped {
+                return Poll::Ready(Err(RecvError(())));
+            }
+            st.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state().receiver_alive = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on;
+
+    #[test]
+    fn mpsc_round_trip_across_tasks() {
+        block_on(async {
+            let (tx, mut rx) = super::mpsc::channel::<u32>(4);
+            let sender = crate::spawn(async move {
+                for i in 0..10 {
+                    tx.send(i).await.expect("receiver alive");
+                }
+            });
+            let mut got = Vec::new();
+            while let Some(v) = rx.recv().await {
+                got.push(v);
+            }
+            sender.await.expect("sender task completes");
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn mpsc_send_blocks_at_capacity_then_resumes() {
+        block_on(async {
+            let (tx, mut rx) = super::mpsc::channel::<u32>(1);
+            tx.send(1).await.expect("space available");
+            let pusher = crate::spawn(async move {
+                tx.send(2).await.expect("unblocks when reader drains");
+            });
+            assert_eq!(rx.recv().await, Some(1));
+            assert_eq!(rx.recv().await, Some(2));
+            pusher.await.expect("pusher completes");
+            assert_eq!(rx.recv().await, None);
+        });
+    }
+
+    #[test]
+    fn mpsc_send_fails_after_receiver_drop() {
+        block_on(async {
+            let (tx, rx) = super::mpsc::channel::<u32>(1);
+            drop(rx);
+            assert!(tx.send(5).await.is_err());
+        });
+    }
+
+    #[test]
+    fn oneshot_round_trip() {
+        block_on(async {
+            let (tx, rx) = super::oneshot::channel();
+            tx.send(9u8).expect("receiver alive");
+            assert_eq!(rx.await, Ok(9));
+        });
+    }
+
+    #[test]
+    fn oneshot_sender_drop_errors() {
+        block_on(async {
+            let (tx, rx) = super::oneshot::channel::<u8>();
+            drop(tx);
+            assert!(rx.await.is_err());
+        });
+    }
+
+    #[test]
+    fn oneshot_send_to_dropped_receiver_returns_value() {
+        let (tx, rx) = super::oneshot::channel::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(3), Err(3));
+    }
+}

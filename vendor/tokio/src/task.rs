@@ -1,0 +1,108 @@
+//! Task spawning: each spawned task gets its own OS thread running
+//! [`crate::runtime::block_on`]. Completion is delivered through a
+//! [`crate::sync::oneshot`] channel, which is what makes [`JoinHandle`]
+//! awaitable.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+use crate::sync::oneshot;
+
+/// Error returned when the task behind a [`JoinHandle`] panicked (its
+/// thread died without sending a result).
+#[derive(Debug)]
+pub struct JoinError(());
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// An owned handle to await a spawned task's output. Dropping the handle
+/// detaches the task (it keeps running), matching upstream semantics.
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    rx: oneshot::Receiver<T>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.rx)
+            .poll(cx)
+            .map(|r| r.map_err(|_| JoinError(())))
+    }
+}
+
+/// Spawns `future` as a new task (a dedicated thread under this shim).
+pub fn spawn<F>(future: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = oneshot::channel();
+    std::thread::Builder::new()
+        .name("tokio-shim-task".into())
+        .spawn(move || {
+            let out = crate::runtime::block_on(future);
+            let _ = tx.send(out);
+        })
+        .expect("spawning a task thread succeeds");
+    JoinHandle { rx }
+}
+
+/// Runs a blocking closure off the async control flow. Under the
+/// thread-per-task shim this is just another thread, but call sites keep
+/// the upstream-correct shape: blocking work never executes inside an
+/// `async fn` body.
+pub fn spawn_blocking<F, R>(f: F) -> JoinHandle<R>
+where
+    F: FnOnce() -> R + Send + 'static,
+    R: Send + 'static,
+{
+    let (tx, rx) = oneshot::channel();
+    std::thread::Builder::new()
+        .name("tokio-shim-blocking".into())
+        .spawn(move || {
+            let _ = tx.send(f());
+        })
+        .expect("spawning a blocking thread succeeds");
+    JoinHandle { rx }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::runtime::block_on;
+
+    #[test]
+    fn spawn_and_join() {
+        let out = block_on(async {
+            let h = crate::spawn(async { 7u32 * 6 });
+            h.await.expect("task completes")
+        });
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn spawn_blocking_and_join() {
+        let out = block_on(async {
+            let h = super::spawn_blocking(|| "done".to_string());
+            h.await.expect("blocking task completes")
+        });
+        assert_eq!(out, "done");
+    }
+
+    #[test]
+    fn panicked_task_yields_join_error() {
+        let res = block_on(async {
+            let h = crate::spawn(async { panic!("boom") });
+            h.await
+        });
+        assert!(res.is_err());
+    }
+}

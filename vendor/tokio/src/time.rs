@@ -1,0 +1,158 @@
+//! Timers built on deadline checks: every future here just compares
+//! `Instant::now()` against a stored deadline on each poll. No timer
+//! wheel — the runtime re-polls suspended tasks every millisecond, so a
+//! deadline is observed within ~1 ms of expiry.
+
+use std::future::{poll_fn, Future};
+use std::task::Poll;
+use std::time::Duration;
+
+pub use std::time::Instant;
+
+/// Sleeps for at least `duration` (1 ms polling granularity).
+pub async fn sleep(duration: Duration) {
+    let deadline = Instant::now() + duration;
+    poll_fn(|_cx| {
+        if Instant::now() >= deadline {
+            Poll::Ready(())
+        } else {
+            Poll::Pending
+        }
+    })
+    .await
+}
+
+/// Error returned by [`timeout`] when the deadline passes first.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Elapsed(());
+
+impl std::fmt::Display for Elapsed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("deadline has elapsed")
+    }
+}
+
+impl std::error::Error for Elapsed {}
+
+/// Awaits `future` for at most `duration`; on expiry the future is
+/// dropped (cancelled) and `Err(Elapsed)` is returned.
+pub async fn timeout<F: Future>(duration: Duration, future: F) -> Result<F::Output, Elapsed> {
+    let deadline = Instant::now() + duration;
+    let mut future = Box::pin(future);
+    poll_fn(move |cx| {
+        if let Poll::Ready(v) = future.as_mut().poll(cx) {
+            return Poll::Ready(Ok(v));
+        }
+        if Instant::now() >= deadline {
+            return Poll::Ready(Err(Elapsed(())));
+        }
+        Poll::Pending
+    })
+    .await
+}
+
+/// What [`Interval::tick`] does when a tick deadline was missed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MissedTickBehavior {
+    /// Fire missed ticks back-to-back until caught up (upstream default).
+    Burst,
+    /// Skip missed ticks; next fires one full period after the late tick.
+    Delay,
+    /// Skip missed ticks; next fires at the next period boundary.
+    Skip,
+}
+
+/// Creates an [`Interval`] whose first tick completes immediately
+/// (upstream semantics).
+pub fn interval(period: Duration) -> Interval {
+    assert!(period > Duration::ZERO, "interval period must be non-zero");
+    Interval {
+        next: Instant::now(),
+        period,
+        behavior: MissedTickBehavior::Burst,
+    }
+}
+
+/// A repeating timer yielding at (at least) `period` spacing.
+#[derive(Debug)]
+pub struct Interval {
+    next: Instant,
+    period: Duration,
+    behavior: MissedTickBehavior,
+}
+
+impl Interval {
+    /// Sets how missed ticks are handled (see [`MissedTickBehavior`]).
+    pub fn set_missed_tick_behavior(&mut self, behavior: MissedTickBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// Completes at the next tick deadline and schedules the following
+    /// one.
+    pub async fn tick(&mut self) -> Instant {
+        let deadline = self.next;
+        poll_fn(|_cx| {
+            if Instant::now() >= deadline {
+                Poll::Ready(())
+            } else {
+                Poll::Pending
+            }
+        })
+        .await;
+        let now = Instant::now();
+        self.next = match self.behavior {
+            MissedTickBehavior::Burst => deadline + self.period,
+            MissedTickBehavior::Delay => now + self.period,
+            MissedTickBehavior::Skip => {
+                // Advance whole periods until the deadline is in the future.
+                let mut next = deadline + self.period;
+                while next <= now {
+                    next += self.period;
+                }
+                next
+            }
+        };
+        now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::block_on;
+
+    #[test]
+    fn sleep_waits_roughly_the_duration() {
+        let start = Instant::now();
+        block_on(sleep(Duration::from_millis(20)));
+        assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn timeout_passes_fast_futures_through() {
+        let out = block_on(timeout(Duration::from_secs(1), async { 5 }));
+        assert_eq!(out, Ok(5));
+    }
+
+    #[test]
+    fn timeout_cuts_off_slow_futures() {
+        let out = block_on(timeout(
+            Duration::from_millis(10),
+            sleep(Duration::from_secs(60)),
+        ));
+        assert_eq!(out, Err(Elapsed(())));
+    }
+
+    #[test]
+    fn interval_first_tick_is_immediate_then_spaced() {
+        block_on(async {
+            let start = Instant::now();
+            let mut iv = interval(Duration::from_millis(15));
+            iv.set_missed_tick_behavior(MissedTickBehavior::Delay);
+            iv.tick().await;
+            assert!(start.elapsed() < Duration::from_millis(10));
+            iv.tick().await;
+            assert!(start.elapsed() >= Duration::from_millis(15));
+        });
+    }
+}
